@@ -1,0 +1,272 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark family per
+// figure (Figure 14 doubles as Table 1's parameter grid). Collections are
+// scaled-down versions of the paper's (see internal/bench); the quantities to
+// compare across methods are ns/op (runtime figures) and the reported
+// cand/op and res/op metrics (candidate figures). For bigger, configurable
+// runs use cmd/benchfig.
+package treejoin_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"treejoin"
+	"treejoin/internal/bench"
+	"treejoin/internal/core"
+	"treejoin/internal/dataset"
+	"treejoin/internal/subtree"
+	"treejoin/internal/synth"
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// benchConfig keeps `go test -bench=.` affordable: ~0.2% of the paper's
+// cardinalities (Swissprot 200, Treebank 100, Sentiment/Synthetic 20→clamped).
+func benchConfig() bench.Config { return bench.Config{Scale: 0.002, Seed: 1} }
+
+var benchMethods = []bench.Method{bench.STR, bench.SET, bench.PRT}
+
+// runJoin is the common measurement loop: one full self-join per iteration,
+// with candidate and result counts attached as custom metrics.
+func runJoin(b *testing.B, m bench.Method, name string, ts []*tree.Tree, tau int) {
+	b.Helper()
+	var last bench.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = bench.Run(m, name, ts, tau, 0)
+	}
+	b.ReportMetric(float64(last.Candidates), "cand/op")
+	b.ReportMetric(float64(last.Results), "res/op")
+}
+
+// BenchmarkFig10And11 — runtime (Fig 10) and candidates (Fig 11) versus the
+// TED threshold τ, on all four dataset profiles, for STR/SET/PRT.
+func BenchmarkFig10And11(b *testing.B) {
+	for _, ds := range bench.Datasets(benchConfig()) {
+		for _, tau := range []int{1, 3, 5} {
+			for _, m := range benchMethods {
+				b.Run(fmt.Sprintf("%s/tau=%d/%s", ds.Name, tau, m), func(b *testing.B) {
+					runJoin(b, m, ds.Name, ds.Trees, tau)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig12And13 — runtime (Fig 12) and candidates (Fig 13) versus
+// collection cardinality at τ = 3.
+func BenchmarkFig12And13(b *testing.B) {
+	const tau = 3
+	for _, ds := range bench.Datasets(benchConfig()) {
+		for _, pct := range []int{40, 100} {
+			n := len(ds.Trees) * pct / 100
+			sub := ds.Trees[:n]
+			for _, m := range benchMethods {
+				b.Run(fmt.Sprintf("%s/n=%d/%s", ds.Name, n, m), func(b *testing.B) {
+					runJoin(b, m, ds.Name, sub, tau)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig14 — the sensitivity analysis / Table 1 grid: one synthetic
+// parameter varies (maximum fanout f, maximum depth d, labels l, tree size
+// t) while the others hold their defaults (3, 5, 20, 80); τ = 3.
+func BenchmarkFig14(b *testing.B) {
+	const tau = 3
+	const n = 40 // the 10K-tree synthetic collection at bench scale
+	sweeps := []struct {
+		param  string
+		values []int
+		gen    func(v int) []*tree.Tree
+	}{
+		{"f", []int{2, 4, 6}, func(v int) []*tree.Tree {
+			return synth.Generate(synth.SyntheticParams(n, v, 5, 20, 80, 1))
+		}},
+		{"d", []int{4, 6, 8}, func(v int) []*tree.Tree {
+			return synth.Generate(synth.SyntheticParams(n, 3, v, 20, 80, 1))
+		}},
+		{"l", []int{3, 20, 50}, func(v int) []*tree.Tree {
+			return synth.Generate(synth.SyntheticParams(n, 3, 5, v, 80, 1))
+		}},
+		{"t", []int{40, 120, 200}, func(v int) []*tree.Tree {
+			return synth.Generate(synth.SyntheticParams(n, 3, 5, 20, v, 1))
+		}},
+	}
+	for _, sw := range sweeps {
+		for _, v := range sw.values {
+			ts := sw.gen(v)
+			for _, m := range benchMethods {
+				b.Run(fmt.Sprintf("%s=%d/%s", sw.param, v, m), func(b *testing.B) {
+					runJoin(b, m, sw.param, ts, tau)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPartitioning — §4.3's omitted experiment: the balanced
+// MaxMinSize partitioning versus random bridging edges.
+func BenchmarkAblationPartitioning(b *testing.B) {
+	ts := synth.Synthetic(100, 1)
+	for _, tau := range []int{1, 3, 5} {
+		for _, m := range []bench.Method{bench.PRT, bench.PRTRandom} {
+			b.Run(fmt.Sprintf("tau=%d/%s", tau, m), func(b *testing.B) {
+				runJoin(b, m, "Synthetic", ts, tau)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPosition — reproduction extension: the position layer's
+// variants (sound ±τ default, the paper's tighter ranges, no position layer).
+func BenchmarkAblationPosition(b *testing.B) {
+	ts := synth.Synthetic(100, 1)
+	for _, tau := range []int{1, 3, 5} {
+		for _, m := range []bench.Method{bench.PRT, bench.PRTPaper, bench.PRTNoPos} {
+			b.Run(fmt.Sprintf("tau=%d/%s", tau, m), func(b *testing.B) {
+				runJoin(b, m, "Synthetic", ts, tau)
+			})
+		}
+	}
+}
+
+// BenchmarkBaselinePanorama — reproduction extension: the full lower-bound
+// filter landscape of the survey [18] (STR, SET, HIST of Kailing et al., EUL
+// of Akutsu et al., PRT) on the synthetic profile.
+func BenchmarkBaselinePanorama(b *testing.B) {
+	ts := synth.Synthetic(100, 1)
+	for _, tau := range []int{1, 3} {
+		for _, m := range []bench.Method{bench.STR, bench.SET, bench.HIST, bench.EUL, bench.PRT} {
+			b.Run(fmt.Sprintf("tau=%d/%s", tau, m), func(b *testing.B) {
+				runJoin(b, m, "Synthetic", ts, tau)
+			})
+		}
+	}
+}
+
+// BenchmarkParallelVerification — the paper's future-work direction
+// (multi-core): PartSJ with a TED verification worker pool.
+func BenchmarkParallelVerification(b *testing.B) {
+	ts := synth.Synthetic(400, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bench.Run(bench.PRT, "Synthetic", ts, 3, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedJoin — the paper's distributed direction: the same join
+// decomposed into fragment-and-replicate shard tasks on a worker pool
+// (candidate generation parallelises too, at the price of per-task indexes).
+func BenchmarkShardedJoin(b *testing.B) {
+	ts := synth.Synthetic(400, 1)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ShardedSelfJoin(ts, shards, core.Options{Tau: 3, Workers: shards})
+			}
+		})
+	}
+}
+
+// BenchmarkTopK — threshold-free closest pairs via expanding-threshold
+// PartSJ passes.
+func BenchmarkTopK(b *testing.B) {
+	ts := synth.Synthetic(200, 1)
+	for _, k := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.TopK(ts, k, core.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkKNN — nearest-neighbour queries against a warm searcher (indexes
+// cached per visited threshold).
+func BenchmarkKNN(b *testing.B) {
+	ts := synth.Synthetic(200, 1)
+	knn := core.NewKNN(ts, core.Options{})
+	knn.Nearest(ts[0], 5) // warm the index cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knn.Nearest(ts[i%len(ts)], 5)
+	}
+}
+
+// BenchmarkDatasetCodec — binary dataset encode/decode throughput versus
+// bracket-text parse, the codec's reason to exist.
+func BenchmarkDatasetCodec(b *testing.B) {
+	ts := synth.Synthetic(500, 1)
+	lt := ts[0].Labels
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, lt, ts); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	var text bytes.Buffer
+	for _, t := range ts {
+		text.WriteString(tree.FormatBracket(t))
+		text.WriteByte('\n')
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(encoded)))
+		for i := 0; i < b.N; i++ {
+			var out bytes.Buffer
+			if err := dataset.Write(&out, lt, ts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(encoded)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dataset.Read(bytes.NewReader(encoded)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse-bracket", func(b *testing.B) {
+		b.SetBytes(int64(text.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := treejoin.ReadBracketLines(bytes.NewReader(text.Bytes()), treejoin.NewLabelTable()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTransform — edit-script playback cost (mapping extraction plus
+// one induced tree per edit step).
+func BenchmarkTransform(b *testing.B) {
+	ts := synth.Synthetic(40, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := ts[i%len(ts)]
+		c := ts[(i+1)%len(ts)]
+		if _, err := ted.Transform(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubtreeSearch — similarity search inside one large tree, with
+// and without the traversal-string screens engaged (τ sweep).
+func BenchmarkSubtreeSearch(b *testing.B) {
+	big := synth.Generate(synth.Params{
+		N: 1, AvgSize: 2000, SizeJitter: 0, MaxFanout: 4, MaxDepth: 12,
+		Labels: 10, Cluster: 1, Seed: 7})[0]
+	query := tree.SubtreeAt(big, int32(big.Size()/2))
+	for _, tau := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				subtree.Search(big, query, tau)
+			}
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package treejoin_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"treejoin"
+)
+
+// End-to-end integration tests: build the real CLI binaries once and drive
+// them through the pipelines the README advertises, cross-checking their
+// output against the library.
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "treejoin-bins")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"datagen", "treejoin", "treesearch", "tedcalc"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func runTool(t *testing.T, name string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), name), args...)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	return out.String(), errb.String(), err
+}
+
+// TestCLIPipeline: datagen → treejoin agrees with the library on the same
+// dataset, across text and binary formats and all methods.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "trees.txt")
+	bin := filepath.Join(dir, "trees.tjds")
+
+	out, _, err := runTool(t, "datagen", "-profile", "synthetic", "-n", "60", "-seed", "5")
+	if err != nil {
+		t.Fatalf("datagen: %v", err)
+	}
+	if err := os.WriteFile(txt, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runTool(t, "datagen", "-profile", "synthetic", "-n", "60", "-seed", "5", "-o", bin); err != nil {
+		t.Fatalf("datagen binary: %v", err)
+	}
+
+	// Library ground truth over the same file.
+	ts, err := treejoin.ReadBracketFile(txt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := treejoin.SelfJoin(ts, 2)
+
+	for _, input := range []string{txt, bin} {
+		for _, method := range []string{"PRT", "STR", "SET", "HIST", "EUL"} {
+			stdout, _, err := runTool(t, "treejoin", "-input", input, "-tau", "2", "-method", method)
+			if err != nil {
+				t.Fatalf("treejoin %s %s: %v", input, method, err)
+			}
+			lines := nonEmptyLines(stdout)
+			if len(lines) != len(want) {
+				t.Fatalf("%s %s: %d pairs, want %d", filepath.Base(input), method, len(lines), len(want))
+			}
+		}
+	}
+
+	// Sharded + workers agree too.
+	stdout, _, err := runTool(t, "treejoin", "-input", bin, "-tau", "2", "-shards", "3", "-workers", "2")
+	if err != nil {
+		t.Fatalf("sharded: %v", err)
+	}
+	if got := nonEmptyLines(stdout); len(got) != len(want) {
+		t.Fatalf("sharded: %d pairs, want %d", len(got), len(want))
+	}
+
+	// TopK prints exactly K lines when enough pairs exist.
+	if len(want) >= 3 {
+		stdout, _, err = runTool(t, "treejoin", "-input", txt, "-topk", "3")
+		if err != nil {
+			t.Fatalf("topk: %v", err)
+		}
+		if got := nonEmptyLines(stdout); len(got) != 3 {
+			t.Fatalf("topk: %d lines", len(got))
+		}
+	}
+}
+
+// TestCLISearch: treesearch threshold and kNN modes against the library.
+func TestCLISearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "trees.txt")
+	data := "{a{b}{c}}\n{a{b}{c}{d}}\n{x{y{z}}}\n"
+	if err := os.WriteFile(txt, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err := runTool(t, "treesearch", "-input", txt, "-tau", "1", "-query", "{a{b}{c}}")
+	if err != nil {
+		t.Fatalf("treesearch: %v", err)
+	}
+	lines := nonEmptyLines(stdout)
+	if len(lines) != 2 { // itself and the 4-node variant
+		t.Fatalf("threshold search: %v", lines)
+	}
+	stdout, _, err = runTool(t, "treesearch", "-input", txt, "-k", "2", "-query", "{a{b}{c}}")
+	if err != nil {
+		t.Fatalf("knn: %v", err)
+	}
+	lines = nonEmptyLines(stdout)
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "0\t0\t0") {
+		t.Fatalf("knn search: %v", lines)
+	}
+
+	// Newick dataset with a Newick query.
+	nwk := filepath.Join(dir, "trees.nwk")
+	if err := os.WriteFile(nwk, []byte("(B,C)A;\n(B,C,D)A;\n(Y)X;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err = runTool(t, "treesearch", "-input", nwk, "-tau", "1", "-query", "(B,C)A;")
+	if err != nil {
+		t.Fatalf("newick search: %v", err)
+	}
+	if lines := nonEmptyLines(stdout); len(lines) != 2 {
+		t.Fatalf("newick search: %v", lines)
+	}
+}
+
+// TestCLITedcalc: distance, bounded exit codes, script and morph views.
+func TestCLITedcalc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	stdout, _, err := runTool(t, "tedcalc", "{a{b}{c}}", "{a{b}{d}}")
+	if err != nil || strings.TrimSpace(stdout) != "1" {
+		t.Fatalf("tedcalc: %q, %v", stdout, err)
+	}
+	// Bounded mode exits 1 when the distance exceeds the bound.
+	_, _, err = runTool(t, "tedcalc", "-tau", "0", "{a{b}{c}}", "{a{b}{d}}")
+	if err == nil {
+		t.Fatal("tedcalc -tau 0 on distance-1 pair exited 0")
+	}
+	stdout, _, err = runTool(t, "tedcalc", "-script", "{a{b}{c}}", "{a{b}{d}}")
+	if err != nil || !strings.Contains(stdout, "rename") {
+		t.Fatalf("script: %q, %v", stdout, err)
+	}
+	stdout, _, err = runTool(t, "tedcalc", "-morph", "{a{b}{c}}", "{a{b}{d}}")
+	if err != nil {
+		t.Fatalf("morph: %v", err)
+	}
+	if lines := nonEmptyLines(stdout); len(lines) != 2 {
+		t.Fatalf("morph steps: %v", lines)
+	}
+	stdout, _, err = runTool(t, "tedcalc", "-constrained", "{a{b{c}}}", "{a{c}}")
+	if err != nil || !strings.Contains(stdout, "constrained 1") {
+		t.Fatalf("constrained: %q, %v", stdout, err)
+	}
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package treejoin
+
+import (
+	"fmt"
+	"strings"
+
+	"treejoin/internal/ted"
+)
+
+// MapPair records that node N1 of the first tree corresponds to node N2 of
+// the second tree in an optimal edit mapping.
+type MapPair = ted.MapPair
+
+// EditOp is one operation of an optimal edit script.
+type EditOp = ted.EditOp
+
+// OpKind classifies an EditOp.
+type OpKind = ted.OpKind
+
+// Edit operation kinds.
+const (
+	OpDelete = ted.OpDelete
+	OpInsert = ted.OpInsert
+	OpRename = ted.OpRename
+)
+
+// Mapping returns TED(a, b) together with an optimal edit mapping: a
+// one-to-one, order- and ancestor-preserving correspondence between nodes of
+// a and nodes of b whose cost equals the distance. Unmapped nodes of a are
+// deleted, unmapped nodes of b inserted, mapped pairs with differing labels
+// renamed.
+func Mapping(a, b *Tree) (int, []MapPair) { return ted.Mapping(a, b) }
+
+// EditScript returns TED(a, b) and an optimal edit script (deletes bottom-up,
+// then renames, then inserts); its length equals the distance. Use
+// FormatEditScript for a readable rendering.
+func EditScript(a, b *Tree) (int, []EditOp) { return ted.EditScript(a, b) }
+
+// Transform plays an optimal edit script back as trees: it returns
+// Distance(a, b)+1 trees morphing a into b, each one node edit operation
+// (delete, rename, or insert) away from the previous — the step-by-step
+// view of the structural diff.
+func Transform(a, b *Tree) ([]*Tree, error) { return ted.Transform(a, b) }
+
+// FormatEditScript renders an edit script with node labels, one operation
+// per line — a structural diff of the two trees.
+func FormatEditScript(a, b *Tree, script []EditOp) string {
+	var sb strings.Builder
+	for _, op := range script {
+		switch op.Kind {
+		case ted.OpDelete:
+			fmt.Fprintf(&sb, "delete %q\n", a.Label(op.Node1))
+		case ted.OpInsert:
+			fmt.Fprintf(&sb, "insert %q\n", b.Label(op.Node2))
+		case ted.OpRename:
+			fmt.Fprintf(&sb, "rename %q -> %q\n", a.Label(op.Node1), b.Label(op.Node2))
+		}
+	}
+	return sb.String()
+}

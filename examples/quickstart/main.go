@@ -1,0 +1,51 @@
+// Quickstart: build a few trees, compute tree edit distances, run a
+// similarity self-join, and use the streaming (incremental) join.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"treejoin"
+)
+
+func main() {
+	// Every collection shares one label table.
+	lt := treejoin.NewLabelTable()
+
+	// Trees can be parsed from the bracket notation of the TED literature...
+	a := treejoin.MustParseBracket("{article{title{Similarity Joins}}{year{2015}}}", lt)
+
+	// ...or built programmatically.
+	b := treejoin.NewBuilder(lt)
+	root := b.Root("article")
+	title := b.Child(root, "title")
+	b.Child(title, "Similarity Joins!")
+	year := b.Child(root, "year")
+	b.Child(year, "2015")
+	doc := b.MustBuild()
+
+	fmt.Println("TED(a, doc) =", treejoin.Distance(a, doc)) // one rename
+
+	// A self-join over a small collection: find all pairs within distance 2.
+	docs := []*treejoin.Tree{
+		a,
+		doc,
+		treejoin.MustParseBracket("{article{title{Similarity Joins}}{year{2016}}}", lt),
+		treejoin.MustParseBracket("{book{title{Databases}}{isbn{42}}{year{1999}}}", lt),
+	}
+	pairs, stats := treejoin.SelfJoin(docs, 2)
+	fmt.Printf("join found %d pairs (verified %d candidates):\n", len(pairs), stats.Candidates)
+	for _, p := range pairs {
+		fmt.Printf("  %s ~ %s (distance %d)\n",
+			treejoin.FormatBracket(docs[p.I]), treejoin.FormatBracket(docs[p.J]), p.Dist)
+	}
+
+	// Streaming: each Add reports the newcomer's matches among earlier trees.
+	stream := treejoin.NewIncremental(1)
+	for _, d := range docs {
+		matches := stream.Add(d)
+		fmt.Printf("streamed tree %d: %d match(es)\n", stream.Len()-1, len(matches))
+	}
+}

@@ -1,0 +1,64 @@
+// treediff prints an optimal edit script between two XML documents — a
+// structural diff under the tree edit distance, built from the library's
+// Mapping/EditScript API (the operational counterpart of the join's
+// distance predicate).
+//
+//	go run ./examples/treediff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treejoin"
+)
+
+const before = `<config>
+  <server><host>db1</host><port>5432</port></server>
+  <pool><max>10</max></pool>
+  <logging><level>info</level></logging>
+</config>`
+
+const after = `<config>
+  <server><host>db2</host><port>5432</port><tls>on</tls></server>
+  <pool><max>10</max></pool>
+  <logging><level>debug</level></logging>
+</config>`
+
+func main() {
+	lt := treejoin.NewLabelTable()
+	opts := treejoin.XMLOptions{IncludeText: true}
+	a, err := treejoin.ParseXMLString(before, lt, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := treejoin.ParseXMLString(after, lt, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dist, script := treejoin.EditScript(a, b)
+	fmt.Printf("structural distance: %d edit(s)\n\n", dist)
+	fmt.Print(treejoin.FormatEditScript(a, b, script))
+
+	// The mapping view: which nodes survived the change.
+	_, mapping := treejoin.Mapping(a, b)
+	kept := 0
+	for _, p := range mapping {
+		if a.Label(p.N1) == b.Label(p.N2) {
+			kept++
+		}
+	}
+	fmt.Printf("\n%d of %d nodes unchanged, %d renamed, %d deleted, %d inserted\n",
+		kept, a.Size(), len(mapping)-kept, a.Size()-len(mapping), b.Size()-len(mapping))
+
+	// The playback view: the same script as a morph, one edit per step.
+	steps, err := treejoin.Transform(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmorph, one edit at a time:")
+	for i, s := range steps {
+		fmt.Printf("  %d: %s\n", i, treejoin.FormatBracket(s))
+	}
+}

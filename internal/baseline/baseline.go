@@ -1,0 +1,68 @@
+// Package baseline implements the competitors the paper evaluates PartSJ
+// against (§2, §4):
+//
+//   - BruteForce: nested loop with only the size filter — the ground-truth
+//     oracle and the source of the REL series in Figures 11/13.
+//   - STR (Guha et al. [13]): prunes a pair when the string edit distance of
+//     the trees' preorder or postorder label sequences — both TED lower
+//     bounds — exceeds τ.
+//   - SET (Yang et al. [27]): prunes a pair when the binary branch distance
+//     exceeds 5τ, using BIB(T1,T2) ≤ 5·TED(T1,T2).
+//
+// All three run the indexed-nested-loop shape the paper describes: trees
+// sorted by size, each tree compared against the preceding trees within the
+// τ size window, surviving pairs verified with the shared TED verifier.
+package baseline
+
+import (
+	"time"
+
+	"treejoin/internal/sim"
+	"treejoin/internal/tree"
+)
+
+// filterFunc decides whether the pair (i, j) survives a method's filter and
+// becomes a TED candidate.
+type filterFunc func(i, j int) bool
+
+// Options configures a baseline join.
+type Options struct {
+	Tau      int
+	Verifier sim.Verifier
+	Workers  int
+}
+
+// run executes the common sorted nested loop: every unordered pair within the
+// size window is offered to filter; survivors are verified.
+func run(ts []*tree.Tree, opts Options, prep func(stats *sim.Stats) filterFunc) ([]sim.Pair, *sim.Stats) {
+	stats := &sim.Stats{Trees: len(ts)}
+	start := time.Now()
+	filter := prep(stats)
+	order := sim.SizeOrder(ts)
+	var cands []sim.Candidate
+	lo := 0
+	for pi, ti := range order {
+		sz := ts[ti].Size()
+		for lo < pi && ts[order[lo]].Size() < sz-opts.Tau {
+			lo++
+		}
+		for k := lo; k < pi; k++ {
+			tj := order[k]
+			if filter == nil || filter(ti, tj) {
+				cands = append(cands, sim.Candidate{I: ti, J: tj})
+			}
+		}
+	}
+	stats.CandTime += time.Since(start)
+	results := sim.VerifyAll(ts, cands, opts.Tau, opts.Verifier, opts.Workers, stats)
+	sim.SortPairs(results)
+	stats.Results = int64(len(results))
+	return results, stats
+}
+
+// BruteForce joins ts with only the size filter: every pair within the τ size
+// window is verified. It is the correctness oracle for all other methods and
+// its result count is the paper's REL series.
+func BruteForce(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
+	return run(ts, opts, func(*sim.Stats) filterFunc { return nil })
+}

@@ -1,0 +1,179 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treejoin/internal/baseline"
+	"treejoin/internal/strdist"
+	"treejoin/internal/synth"
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// TestFigure3Bounds reproduces §2's worked example: for the Figure 3 pair,
+// TED = 3, the preorder string distance is 0 and the postorder string
+// distance is 2 (both as printed). For the binary branch distance the paper
+// prints BIB = 6, but the bags it draws share two branches, (l1: l2, ε) and
+// (l3: ε, ε), giving |X1 ∩ X2| = 2 and hence BIB = 4 + 4 − 2·2 = 4 — the
+// printed 6 is an arithmetic slip (either value satisfies BIB ≤ 5·TED = 15).
+func TestFigure3Bounds(t *testing.T) {
+	lt := tree.NewLabelTable()
+	t1 := tree.MustParseBracket("{l1{l2}{l1{l3}}}", lt)
+	t2 := tree.MustParseBracket("{l1{l2{l1}{l3}}}", lt)
+	if d := ted.Distance(t1, t2); d != 3 {
+		t.Fatalf("TED = %d", d)
+	}
+	pre1 := tree.LabelSeq(t1, tree.Preorder(t1))
+	pre2 := tree.LabelSeq(t2, tree.Preorder(t2))
+	if d := strdist.Levenshtein(pre1, pre2); d != 0 {
+		t.Errorf("preorder SED = %d, want 0", d)
+	}
+	post1 := tree.LabelSeq(t1, tree.Postorder(t1))
+	post2 := tree.LabelSeq(t2, tree.Postorder(t2))
+	if d := strdist.Levenshtein(post1, post2); d != 2 {
+		t.Errorf("postorder SED = %d, want 2", d)
+	}
+	x1 := baseline.BranchVector(t1)
+	x2 := baseline.BranchVector(t2)
+	if d := baseline.BIB(x1, x2); d != 4 {
+		t.Errorf("BIB = %d, want 4", d)
+	}
+}
+
+// TestStringDistanceIsLowerBound: SED(pre), SED(post) ≤ TED on random pairs
+// (Guha et al.'s theorem, the STR filter's correctness).
+func TestStringDistanceIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	lt := tree.NewLabelTable()
+	for i := 0; i < 300; i++ {
+		a := randomTree(rng, 18, lt)
+		b := randomTree(rng, 18, lt)
+		d := ted.Distance(a, b)
+		pre := strdist.Levenshtein(tree.LabelSeq(a, tree.Preorder(a)), tree.LabelSeq(b, tree.Preorder(b)))
+		post := strdist.Levenshtein(tree.LabelSeq(a, tree.Postorder(a)), tree.LabelSeq(b, tree.Postorder(b)))
+		if pre > d || post > d {
+			t.Fatalf("string bound above TED: pre=%d post=%d ted=%d\n%s\n%s",
+				pre, post, d, tree.FormatBracket(a), tree.FormatBracket(b))
+		}
+	}
+}
+
+// TestBIBBound: BIB(T1,T2) ≤ 5·TED(T1,T2) on random pairs (Yang et al.'s
+// theorem, the SET filter's correctness).
+func TestBIBBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	lt := tree.NewLabelTable()
+	for i := 0; i < 300; i++ {
+		a := randomTree(rng, 18, lt)
+		b := randomTree(rng, 18, lt)
+		d := ted.Distance(a, b)
+		bib := baseline.BIB(baseline.BranchVector(a), baseline.BranchVector(b))
+		if bib > 5*d {
+			t.Fatalf("BIB %d > 5·TED %d\n%s\n%s", bib, 5*d, tree.FormatBracket(a), tree.FormatBracket(b))
+		}
+	}
+}
+
+func TestBranchVectorProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	lt := tree.NewLabelTable()
+	for i := 0; i < 100; i++ {
+		a := randomTree(rng, 30, lt)
+		x := baseline.BranchVector(a)
+		if len(x) != a.Size() {
+			t.Fatalf("branch vector length %d != size %d", len(x), a.Size())
+		}
+		if d := baseline.BIB(x, x); d != 0 {
+			t.Fatalf("BIB(x,x) = %d", d)
+		}
+		b := randomTree(rng, 30, lt)
+		y := baseline.BranchVector(b)
+		if baseline.BIB(x, y) != baseline.BIB(y, x) {
+			t.Fatal("BIB asymmetric")
+		}
+	}
+}
+
+func TestBruteForceMatchesNaive(t *testing.T) {
+	ts := synth.Generate(synth.Params{
+		N: 30, AvgSize: 15, SizeJitter: 0.4, MaxFanout: 4, MaxDepth: 6,
+		Labels: 6, DepthBias: 0, Cluster: 3, Decay: 0.08, Seed: 5})
+	for tau := 0; tau <= 3; tau++ {
+		got, stats := baseline.BruteForce(ts, baseline.Options{Tau: tau})
+		// Naive double loop without any ordering.
+		var want int
+		for i := 0; i < len(ts); i++ {
+			for j := i + 1; j < len(ts); j++ {
+				if ted.Distance(ts[i], ts[j]) <= tau {
+					want++
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("τ=%d: %d pairs, naive %d", tau, len(got), want)
+		}
+		for _, p := range got {
+			if p.I >= p.J {
+				t.Fatalf("unnormalised pair %v", p)
+			}
+			if p.Dist > tau {
+				t.Fatalf("overszied distance %v", p)
+			}
+		}
+		if stats.Results != int64(len(got)) {
+			t.Fatalf("stats results %d != %d", stats.Results, len(got))
+		}
+	}
+}
+
+// TestBaselinesParallelWorkers: worker pools do not change baseline results.
+func TestBaselinesParallelWorkers(t *testing.T) {
+	ts := synth.Synthetic(60, 9)
+	for _, tau := range []int{1, 3} {
+		s1, _ := baseline.STR(ts, baseline.Options{Tau: tau})
+		s2, _ := baseline.STR(ts, baseline.Options{Tau: tau, Workers: 4})
+		if len(s1) != len(s2) {
+			t.Fatalf("STR workers changed results")
+		}
+		e1, _ := baseline.SET(ts, baseline.Options{Tau: tau})
+		e2, _ := baseline.SET(ts, baseline.Options{Tau: tau, Workers: 4})
+		if len(e1) != len(e2) {
+			t.Fatalf("SET workers changed results")
+		}
+	}
+}
+
+// TestFilterSelectivityOrdering: on clustered synthetic data the candidate
+// counts follow the paper's Figure 11 ordering: REL ≤ STR/PRT ≤ SET ≤ size
+// filter only.
+func TestFilterSelectivityOrdering(t *testing.T) {
+	ts := synth.Synthetic(150, 13)
+	for _, tau := range []int{1, 2, 3} {
+		_, bf := baseline.BruteForce(ts, baseline.Options{Tau: tau})
+		_, str := baseline.STR(ts, baseline.Options{Tau: tau})
+		_, set := baseline.SET(ts, baseline.Options{Tau: tau})
+		if str.Candidates > bf.Candidates {
+			t.Errorf("τ=%d: STR candidates %d above size-filter count %d", tau, str.Candidates, bf.Candidates)
+		}
+		if set.Candidates > bf.Candidates {
+			t.Errorf("τ=%d: SET candidates %d above size-filter count %d", tau, set.Candidates, bf.Candidates)
+		}
+		if str.Results != set.Results || str.Results != bf.Results {
+			t.Errorf("τ=%d: result counts disagree", tau)
+		}
+		if str.Candidates < str.Results || set.Candidates < set.Results {
+			t.Errorf("τ=%d: candidates below results", tau)
+		}
+	}
+}
+
+func randomTree(rng *rand.Rand, maxN int, lt *tree.LabelTable) *tree.Tree {
+	n := 1 + rng.Intn(maxN)
+	b := tree.NewBuilder(lt)
+	b.Root(string(rune('a' + rng.Intn(4))))
+	for i := 1; i < n; i++ {
+		b.Child(int32(rng.Intn(i)), string(rune('a'+rng.Intn(4))))
+	}
+	return b.MustBuild()
+}

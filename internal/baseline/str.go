@@ -1,0 +1,31 @@
+package baseline
+
+import (
+	"treejoin/internal/sim"
+	"treejoin/internal/strdist"
+	"treejoin/internal/tree"
+)
+
+// STR joins ts using the traversal-string lower bounds of Guha et al.: the
+// unit-cost string edit distance between the preorder (resp. postorder) label
+// sequences of two trees never exceeds their TED, so a pair whose preorder or
+// postorder sequences differ by more than τ cannot be a result. Sequence
+// distances are computed with the τ-banded algorithm, matching the original
+// method's cost profile: candidate generation is a string join over all size-
+// compatible pairs and dominates at small τ (cf. Figure 10).
+func STR(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
+	return run(ts, opts, func(stats *sim.Stats) filterFunc {
+		pre := make([][]int32, len(ts))
+		post := make([][]int32, len(ts))
+		for i, t := range ts {
+			pre[i] = tree.LabelSeq(t, tree.Preorder(t))
+			post[i] = tree.LabelSeq(t, tree.Postorder(t))
+		}
+		return func(i, j int) bool {
+			if strdist.Bounded(pre[i], pre[j], opts.Tau) > opts.Tau {
+				return false
+			}
+			return strdist.Bounded(post[i], post[j], opts.Tau) <= opts.Tau
+		}
+	})
+}

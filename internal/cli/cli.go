@@ -1,0 +1,98 @@
+// Package cli holds the input/output plumbing shared by this module's
+// command-line tools: dataset format detection and loading for the three
+// supported encodings (bracket text, Newick text, binary dataset).
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"treejoin"
+)
+
+// Formats supported by Load.
+const (
+	FormatBracket = "bracket"
+	FormatNewick  = "newick"
+	FormatBinary  = "binary"
+	FormatAuto    = "auto"
+)
+
+// DetectFormat resolves an explicit format flag (or "auto"/"") against the
+// file extension: .tjds → binary, .nwk/.newick/.tree → newick, anything else
+// → bracket.
+func DetectFormat(path, explicit string) (string, error) {
+	switch explicit {
+	case FormatBracket, FormatNewick, FormatBinary:
+		return explicit, nil
+	case FormatAuto, "":
+	default:
+		return "", fmt.Errorf("unknown format %q (want %s, %s, %s, or %s)",
+			explicit, FormatBracket, FormatNewick, FormatBinary, FormatAuto)
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".tjds":
+		return FormatBinary, nil
+	case ".nwk", ".newick", ".tree":
+		return FormatNewick, nil
+	default:
+		return FormatBracket, nil
+	}
+}
+
+// Load reads the tree collection at path in the given format (one of the
+// Format constants; FormatAuto detects from the extension). Text formats
+// intern into lt (a fresh table when nil); the binary format carries its own
+// table, so lt must be nil for it. The table actually used is returned so
+// callers can parse queries against it.
+func Load(path, format string, lt *treejoin.LabelTable) ([]*treejoin.Tree, *treejoin.LabelTable, error) {
+	format, err := DetectFormat(path, format)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch format {
+	case FormatBinary:
+		if lt != nil {
+			return nil, nil, fmt.Errorf("binary datasets carry their own label table")
+		}
+		table, ts, err := treejoin.ReadDatasetFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ts, table, nil
+	case FormatNewick:
+		if lt == nil {
+			lt = treejoin.NewLabelTable()
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		ts, err := treejoin.ReadNewickLines(f, lt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ts, lt, nil
+	default:
+		if lt == nil {
+			lt = treejoin.NewLabelTable()
+		}
+		ts, err := treejoin.ReadBracketFile(path, lt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ts, lt, nil
+	}
+}
+
+// ParseQuery parses one query tree in the text syntax matching format:
+// Newick for FormatNewick, bracket notation otherwise.
+func ParseQuery(s, format string, lt *treejoin.LabelTable) (*treejoin.Tree, error) {
+	if format == FormatNewick {
+		return treejoin.ParseNewick(s, lt)
+	}
+	return treejoin.ParseBracket(s, lt)
+}

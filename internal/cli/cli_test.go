@@ -1,0 +1,104 @@
+package cli_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"treejoin"
+	"treejoin/internal/cli"
+)
+
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		path, explicit, want string
+		wantErr              bool
+	}{
+		{"trees.txt", "auto", cli.FormatBracket, false},
+		{"trees.tjds", "auto", cli.FormatBinary, false},
+		{"TREES.TJDS", "", cli.FormatBinary, false},
+		{"species.nwk", "auto", cli.FormatNewick, false},
+		{"species.newick", "", cli.FormatNewick, false},
+		{"species.tree", "", cli.FormatNewick, false},
+		{"anything.tjds", "bracket", cli.FormatBracket, false}, // explicit wins
+		{"x.txt", "binary", cli.FormatBinary, false},
+		{"x.txt", "nonsense", "", true},
+	}
+	for _, c := range cases {
+		got, err := cli.DetectFormat(c.path, c.explicit)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("DetectFormat(%q, %q): expected error", c.path, c.explicit)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("DetectFormat(%q, %q) = %q, %v; want %q", c.path, c.explicit, got, err, c.want)
+		}
+	}
+}
+
+func TestLoadAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	lt := treejoin.NewLabelTable()
+	ts := []*treejoin.Tree{
+		treejoin.MustParseBracket("{a{b}{c}}", lt),
+		treejoin.MustParseBracket("{a{b}}", lt),
+	}
+
+	bracketPath := filepath.Join(dir, "trees.txt")
+	if err := os.WriteFile(bracketPath, []byte("{a{b}{c}}\n{a{b}}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newickPath := filepath.Join(dir, "trees.nwk")
+	if err := os.WriteFile(newickPath, []byte("(b,c)a;\n(b)a;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "trees.tjds")
+	if err := treejoin.WriteDatasetFile(binPath, lt, ts); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{bracketPath, newickPath, binPath} {
+		got, table, err := cli.Load(path, "auto", nil)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", path, err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("Load(%s): %d trees", path, len(got))
+		}
+		if table == nil {
+			t.Fatalf("Load(%s): nil table", path)
+		}
+		if got[0].Size() != 3 || got[1].Size() != 2 {
+			t.Fatalf("Load(%s): sizes %d, %d", path, got[0].Size(), got[1].Size())
+		}
+	}
+
+	// Binary datasets refuse an externally supplied table.
+	if _, _, err := cli.Load(binPath, "auto", treejoin.NewLabelTable()); err == nil {
+		t.Fatal("binary load with external table accepted")
+	}
+	// Missing files and malformed content error out.
+	if _, _, err := cli.Load(filepath.Join(dir, "missing.txt"), "auto", nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, _, err := cli.Load(bracketPath, "binary", nil); err == nil {
+		t.Fatal("text file as binary accepted")
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	q, err := cli.ParseQuery("{a{b}}", cli.FormatBracket, lt)
+	if err != nil || q.Size() != 2 {
+		t.Fatalf("bracket query: %v, size %d", err, q.Size())
+	}
+	q, err = cli.ParseQuery("(b)a;", cli.FormatNewick, lt)
+	if err != nil || q.Size() != 2 {
+		t.Fatalf("newick query: %v", err)
+	}
+	if _, err := cli.ParseQuery("(b)a;", cli.FormatBracket, lt); err == nil {
+		t.Fatal("newick text accepted as bracket")
+	}
+}

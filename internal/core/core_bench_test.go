@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"treejoin/internal/lcrs"
+	"treejoin/internal/synth"
+)
+
+// Micro-benchmarks of PartSJ's building blocks: the O(n log(n/δ)) MaxMinSize
+// search, partition extraction, and the subgraph containment test.
+
+func benchBin(size int) *lcrs.Bin {
+	ts := synth.Generate(synth.Params{
+		N: 1, AvgSize: size, MaxFanout: 3, MaxDepth: 8, Labels: 20,
+		DepthBias: 0, Cluster: 1, Seed: 11})
+	return lcrs.Build(ts[0])
+}
+
+func BenchmarkMaxMinSize(b *testing.B) {
+	for _, size := range []int{64, 256, 1024} {
+		bin := benchBin(size)
+		for _, tau := range []int{1, 5} {
+			b.Run(fmt.Sprintf("n=%d/tau=%d", size, tau), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					MaxMinSize(bin, 2*tau+1)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkComputePartition(b *testing.B) {
+	for _, size := range []int{64, 256, 1024} {
+		bin := benchBin(size)
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Compute(bin, 7)
+			}
+		})
+	}
+}
+
+func BenchmarkSubgraphMatch(b *testing.B) {
+	bin := benchBin(256)
+	p := Compute(bin, 7)
+	var sc matchScratch
+	b.Run("self-hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for c := 0; c < p.Delta; c++ {
+				matches(p, int32(c), bin, p.Roots[c], &sc)
+			}
+		}
+	})
+	other := benchBin(240)
+	b.Run("cross", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for c := 0; c < p.Delta; c++ {
+				MatchesAnywhere(p, int32(c), other)
+			}
+		}
+	})
+}
+
+func BenchmarkIncrementalAdd(b *testing.B) {
+	ts := synth.Synthetic(512, 3)
+	b.ResetTimer()
+	inc := NewIncremental(Options{Tau: 2})
+	for i := 0; i < b.N; i++ {
+		inc.Add(ts[i%len(ts)])
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"time"
+
+	"treejoin/internal/lcrs"
+	"treejoin/internal/sim"
+	"treejoin/internal/tree"
+)
+
+// Incremental is the streaming form of PartSJ, motivated by the paper's
+// closing remark on workloads "where tree objects are inserted and updated at
+// a high rate". Trees arrive in any order; Add returns the new tree's join
+// partners among all previously added trees.
+//
+// Algorithm 1 processes trees in ascending size order so a probe only needs
+// inverted lists I_n with n ≤ |T_i|. Arrival order is arbitrary here, so Add
+// probes the symmetric window n ∈ [|T|−τ, |T|+τ]. Lemma 2 is direction-
+// agnostic — for any pair it is the earlier (already partitioned) tree whose
+// subgraph must appear in the later one — so correctness is unaffected.
+//
+// Incremental is not safe for concurrent use; wrap it in a mutex if multiple
+// goroutines add trees.
+type Incremental struct {
+	opts    Options
+	delta   int
+	ts      []*tree.Tree
+	bins    []*lcrs.Bin
+	parts   []*Partition
+	ix      *invIndex
+	smalls  []int
+	checked []int32
+	gen     int32
+	sc      matchScratch
+	seqs    *seqCache
+	stats   sim.Stats
+
+	removed   []bool
+	nRemoved  int
+	compactAt int // rebuild the index when nRemoved reaches this
+}
+
+// NewIncremental returns an empty streaming join with the given options.
+// RandomPartition is not supported and is ignored.
+func NewIncremental(opts Options) *Incremental {
+	if err := opts.validate(); err != nil {
+		panic(err)
+	}
+	inc := &Incremental{
+		opts:      opts,
+		delta:     opts.delta(),
+		ix:        newInvIndex(opts.Tau, opts.Position),
+		compactAt: 16,
+	}
+	if opts.HybridVerify && opts.Verifier == nil {
+		inc.seqs = newSeqCache(nil)
+		inc.opts.Verifier = inc.seqs.verifier()
+	}
+	return inc
+}
+
+// Len returns the number of trees added so far, including removed ones
+// (positions are stable).
+func (inc *Incremental) Len() int { return len(inc.ts) }
+
+// Live returns the number of trees added and not yet removed.
+func (inc *Incremental) Live() int { return len(inc.ts) - inc.nRemoved }
+
+// Tree returns the i-th added tree, or nil if it has been removed.
+func (inc *Incremental) Tree(i int) *tree.Tree { return inc.ts[i] }
+
+// Stats returns a snapshot of the accumulated execution statistics.
+func (inc *Incremental) Stats() sim.Stats {
+	s := inc.stats
+	s.Trees = len(inc.ts)
+	return s
+}
+
+// Add inserts t and returns all pairs (existing index, new index) whose TED
+// is at most τ, sorted by existing index. The new tree's index is Len()-1
+// after the call.
+func (inc *Incremental) Add(t *tree.Tree) []sim.Pair {
+	start := time.Now()
+	ti := len(inc.ts)
+	inc.ts = append(inc.ts, t)
+	if inc.seqs != nil {
+		inc.seqs.add(t)
+	}
+	b := lcrs.Build(t)
+	inc.bins = append(inc.bins, b)
+	inc.parts = append(inc.parts, nil)
+	inc.checked = append(inc.checked, -1)
+	inc.removed = append(inc.removed, false)
+	sz := t.Size()
+	gen := inc.gen
+	inc.gen++
+
+	var cands []sim.Candidate
+	for _, other := range inc.smalls {
+		if inc.removed[other] {
+			continue
+		}
+		d := inc.ts[other].Size() - sz
+		if d < 0 {
+			d = -d
+		}
+		if d <= inc.opts.Tau && inc.checked[other] != gen {
+			inc.checked[other] = gen
+			cands = append(cands, sim.Candidate{I: other, J: ti})
+			inc.stats.SmallTreeFallback++
+		}
+	}
+	minSize := sz - inc.opts.Tau
+	if minSize < 1 {
+		minSize = 1
+	}
+	for _, n := range b.Order {
+		inc.stats.SubgraphProbes += inc.ix.probe(b, n, minSize, sz+inc.opts.Tau, func(e entry) {
+			if inc.removed[e.tree] || inc.checked[e.tree] == gen {
+				return
+			}
+			inc.stats.MatchTests++
+			if matches(inc.parts[e.tree], e.comp, b, n, &inc.sc) {
+				inc.stats.MatchHits++
+				inc.checked[e.tree] = gen
+				cands = append(cands, sim.Candidate{I: int(e.tree), J: ti})
+			}
+		})
+	}
+	inc.stats.CandTime += time.Since(start)
+
+	pairs := sim.VerifyAll(inc.ts, cands, inc.opts.Tau, inc.opts.Verifier, inc.opts.Workers, &inc.stats)
+
+	pStart := time.Now()
+	if sz >= inc.delta {
+		p := Compute(b, inc.delta)
+		inc.parts[ti] = p
+		inc.stats.IndexedSubgraphs += int64(inc.delta)
+		inc.ix.insert(ti, p)
+	} else {
+		inc.smalls = append(inc.smalls, ti)
+	}
+	inc.stats.PartitionTime += time.Since(pStart)
+
+	sim.SortPairs(pairs)
+	inc.stats.Results += int64(len(pairs))
+	return pairs
+}
+
+// Remove deletes the i-th tree from the stream: it no longer appears in the
+// results of later Add calls. Positions are stable — later trees keep their
+// indices. Removal is a tombstone (probes skip dead entries); once half the
+// stream is dead the index is rebuilt from the survivors. Removing an
+// out-of-range or already-removed position reports false.
+func (inc *Incremental) Remove(i int) bool {
+	if i < 0 || i >= len(inc.ts) || inc.removed[i] {
+		return false
+	}
+	inc.removed[i] = true
+	inc.nRemoved++
+	// Release the payload; only the tombstone remains.
+	inc.ts[i] = nil
+	inc.bins[i] = nil
+	inc.parts[i] = nil
+	if inc.nRemoved >= inc.compactAt && inc.nRemoved*2 >= len(inc.ts) {
+		inc.compact()
+	}
+	return true
+}
+
+// Update replaces the i-th tree: Remove(i) followed by Add(t). It returns
+// the new tree's position (Len()-1 after the call) and its join partners
+// among the live trees, serving the paper's "inserted and updated at a high
+// rate" workload directly.
+func (inc *Incremental) Update(i int, t *tree.Tree) (int, []sim.Pair) {
+	inc.Remove(i)
+	pairs := inc.Add(t)
+	return len(inc.ts) - 1, pairs
+}
+
+// compact rebuilds the subgraph index and small-tree list from the live
+// trees, dropping tombstoned postings. Positions are preserved. The next
+// compaction fires only after as many further removals again, keeping the
+// amortised rebuild cost linear.
+func (inc *Incremental) compact() {
+	start := time.Now()
+	inc.ix = newInvIndex(inc.opts.Tau, inc.opts.Position)
+	inc.smalls = inc.smalls[:0]
+	for ti := range inc.ts {
+		if inc.removed[ti] {
+			continue
+		}
+		if inc.parts[ti] != nil {
+			inc.ix.insert(ti, inc.parts[ti])
+		} else {
+			inc.smalls = append(inc.smalls, ti)
+		}
+	}
+	inc.compactAt = inc.nRemoved + inc.nRemoved/2 + 16
+	inc.stats.PartitionTime += time.Since(start)
+}

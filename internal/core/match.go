@@ -1,0 +1,99 @@
+package core
+
+import (
+	"treejoin/internal/lcrs"
+)
+
+// Subgraph matching (§3.2): a component (subgraph) s of a partitioned binary
+// tree matches at node N of a probe binary tree iff the component's node
+// structure appears at the top of the binary subtree rooted at N:
+//
+//   - labels agree node by node;
+//   - a slot (left/right pointer) holding an in-component child must hold a
+//     child with the same recursive structure in the probe;
+//   - a slot holding a bridging edge (child in another component) must hold
+//     some child in the probe — the structure below it is irrelevant;
+//   - an empty slot must be empty in the probe.
+//
+// Matching deliberately ignores the category of the component root's incoming
+// edge. The paper's worked example compares it, but doing so lets a single
+// deletion touch three subgraphs (the deleted node's component, the component
+// of the promoted child whose incoming category changes, and the component of
+// the node whose slot is rewired), which breaks the ≤2-subgraphs accounting
+// behind Lemma 1 and hence the δ = 2τ+1 guarantee of Lemma 2. With
+// slot-occupancy matching every edit operation invalidates at most two
+// components' matches, so the filter is safe; see DESIGN.md.
+
+// matchFrame pairs a pattern node with a probe node during the parallel walk.
+type matchFrame struct{ pat, prb int32 }
+
+// matchScratch holds reusable state for Matches, avoiding per-call
+// allocation. The zero value is ready to use.
+type matchScratch struct {
+	stack []matchFrame
+}
+
+// matches reports whether component comp of partition p occurs at node
+// probeNode of probe (in the sense above).
+func matches(p *Partition, comp int32, probe *lcrs.Bin, probeNode int32, sc *matchScratch) bool {
+	pat := p.Bin
+	stack := sc.stack[:0]
+	stack = append(stack, matchFrame{p.Roots[comp], probeNode})
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if pat.Label(f.pat) != probe.Label(f.prb) {
+			sc.stack = stack
+			return false
+		}
+		pl, ql := pat.Left(f.pat), probe.Left(f.prb)
+		if !slotOK(p, comp, pl, ql, &stack) {
+			sc.stack = stack
+			return false
+		}
+		pr, qr := pat.Right(f.pat), probe.Right(f.prb)
+		if !slotOK(p, comp, pr, qr, &stack) {
+			sc.stack = stack
+			return false
+		}
+	}
+	sc.stack = stack
+	return true
+}
+
+// slotOK applies the slot rules for one (pattern child, probe child) pair and
+// schedules the recursive comparison for in-component children.
+func slotOK(p *Partition, comp int32, pc, qc int32, stack *[]matchFrame) bool {
+	switch {
+	case pc == lcrs.None: // empty slot: probe must be empty too
+		return qc == lcrs.None
+	case p.Comp[pc] != comp: // bridging edge: probe must have some child
+		return qc != lcrs.None
+	default: // in-component child: recurse
+		if qc == lcrs.None {
+			return false
+		}
+		*stack = append(*stack, matchFrame{pc, qc})
+		return true
+	}
+}
+
+// Matches is the exported form of the subgraph containment test, used by
+// tests and by downstream tooling; join loops use the scratch-buffer variant.
+func Matches(p *Partition, comp int32, probe *lcrs.Bin, probeNode int32) bool {
+	var sc matchScratch
+	return matches(p, comp, probe, probeNode, &sc)
+}
+
+// MatchesAnywhere reports whether component comp of p occurs at any node of
+// probe. This is the containment test of Lemma 2 in its brute-force form; the
+// two-layer index exists to avoid calling it for every (subgraph, node) pair.
+func MatchesAnywhere(p *Partition, comp int32, probe *lcrs.Bin) bool {
+	var sc matchScratch
+	for n := range probe.Tree.Nodes {
+		if matches(p, comp, probe, int32(n), &sc) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treejoin/internal/lcrs"
+	"treejoin/internal/tree"
+)
+
+// testing/quick property tests over the core data structures; each property
+// is quantified over generator seeds so quick drives shrinking-style
+// exploration while tree construction stays valid by construction.
+
+// TestQuickPartitionInvariants: for arbitrary trees and admissible δ, the
+// balanced partition has δ components whose sizes sum to the tree size, each
+// at least MaxMinSize's γ, and γ+1 is infeasible.
+func TestQuickPartitionInvariants(t *testing.T) {
+	lt := tree.NewLabelTable()
+	st := &partitionState{}
+	f := func(seed int64, deltaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGeneralTree(rng, 70, lt)
+		b := lcrs.Build(g)
+		delta := 1 + int(deltaRaw)%11
+		if delta > b.Size() {
+			delta = b.Size()
+		}
+		p := Compute(b, delta)
+		if p.Validate() != nil {
+			return false
+		}
+		var total int32
+		for _, s := range p.Sizes {
+			if int(s) < p.Gamma {
+				return false
+			}
+			total += s
+		}
+		if int(total) != b.Size() {
+			return false
+		}
+		return !partitionable(b, delta, p.Gamma+1, st, nil)
+	}
+	cfg := &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(401))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLemma2: the filtering principle as a quick property — after at
+// most τ random edits, some component of any δ-partitioning still occurs.
+func TestQuickLemma2(t *testing.T) {
+	lt := tree.NewLabelTable()
+	f := func(seed int64, tauRaw, edits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tau := 1 + int(tauRaw)%4
+		delta := 2*tau + 1
+		t1 := randomSizedTree(rng, delta+rng.Intn(40), lt)
+		p := Compute(lcrs.Build(t1), delta)
+		t2 := t1
+		for e := 0; e < int(edits)%(tau+1); e++ {
+			t2 = randomEditOp(rng, t2, lt)
+		}
+		b2 := lcrs.Build(t2)
+		for c := 0; c < delta; c++ {
+			if MatchesAnywhere(p, int32(c), b2) {
+				return true
+			}
+		}
+		return false
+	}
+	cfg := &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(409))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBinaryPostorderPermutation: lcrs.Build's orders are inverse
+// permutations with children before parents, for arbitrary trees.
+func TestQuickBinaryPostorderPermutation(t *testing.T) {
+	lt := tree.NewLabelTable()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGeneralTree(rng, 60, lt)
+		b := lcrs.Build(g)
+		for r, n := range b.Order {
+			if b.Rank[n] != int32(r) {
+				return false
+			}
+		}
+		for id := range g.Nodes {
+			n := int32(id)
+			if l := b.Left(n); l != lcrs.None && b.Rank[l] >= b.Rank[n] {
+				return false
+			}
+			if r := b.Right(n); r != lcrs.None && b.Rank[r] >= b.Rank[n] {
+				return false
+			}
+			// General postorder: parent after every child.
+			for c := g.Nodes[n].FirstChild; c != tree.None; c = g.Nodes[c].NextSibling {
+				if b.GenRank[c] >= b.GenRank[n] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(419))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"treejoin/internal/lcrs"
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// Index is a static similarity-search index over a fixed collection: build
+// once, then Search reports every collection tree within TED τ of a query.
+// It is the similarity-search counterpart of the join ([13, 16, 27] study
+// this query; PartSJ's subgraph index answers it directly): every collection
+// tree is δ-partitioned at build time, and a query is probed against the
+// two-layer index exactly like the current tree in Algorithm 1 — Lemma 2
+// applies with the collection tree as the partitioned side, so no size
+// relationship between query and data is required.
+//
+// Search is safe for concurrent use: probing state is per-call, and the
+// index is immutable after NewIndex.
+type Index struct {
+	opts   Options
+	ts     []*tree.Tree
+	parts  []*Partition
+	ix     *invIndex
+	smalls []int
+}
+
+// Match is one search hit: collection position and exact distance.
+type Match struct {
+	Pos  int
+	Dist int
+}
+
+// NewIndex partitions and indexes every tree of ts for searches with
+// threshold opts.Tau. RandomPartition and Workers are ignored; the verifier
+// is used by Search.
+func NewIndex(ts []*tree.Tree, opts Options) *Index {
+	if err := opts.validate(); err != nil {
+		panic(err)
+	}
+	if opts.HybridVerify && opts.Verifier == nil {
+		opts.Verifier = newSeqCache(ts).verifier()
+	}
+	ix := &Index{
+		opts:  opts,
+		ts:    ts,
+		parts: make([]*Partition, len(ts)),
+		ix:    newInvIndex(opts.Tau, opts.Position),
+	}
+	delta := opts.delta()
+	for i, t := range ts {
+		if t.Size() >= delta {
+			p := Compute(lcrs.Build(t), delta)
+			ix.parts[i] = p
+			ix.ix.insert(i, p)
+		} else {
+			ix.smalls = append(ix.smalls, i)
+		}
+	}
+	return ix
+}
+
+// Len returns the collection size.
+func (x *Index) Len() int { return len(x.ts) }
+
+// Tree returns the i-th collection tree.
+func (x *Index) Tree(i int) *tree.Tree { return x.ts[i] }
+
+// Search returns the collection trees within TED τ of q, in ascending
+// collection order.
+func (x *Index) Search(q *tree.Tree) []Match {
+	verify := x.opts.Verifier
+	if verify == nil {
+		verify = func(t1, t2 *tree.Tree, tau int) (int, bool) {
+			return ted.DistanceBounded(t1, t2, tau)
+		}
+	}
+	b := lcrs.Build(q)
+	sz := q.Size()
+	tau := x.opts.Tau
+	seen := make(map[int32]bool)
+	var cands []int
+	for _, i := range x.smalls {
+		d := x.ts[i].Size() - sz
+		if d < 0 {
+			d = -d
+		}
+		if d <= tau {
+			cands = append(cands, i)
+			seen[int32(i)] = true
+		}
+	}
+	minSize := sz - tau
+	if minSize < 1 {
+		minSize = 1
+	}
+	var sc matchScratch
+	for _, n := range b.Order {
+		x.ix.probe(b, n, minSize, sz+tau, func(e entry) {
+			if seen[e.tree] {
+				return
+			}
+			if matches(x.parts[e.tree], e.comp, b, n, &sc) {
+				seen[e.tree] = true
+				cands = append(cands, int(e.tree))
+			}
+		})
+	}
+	var out []Match
+	for _, i := range cands {
+		if d, ok := verify(x.ts[i], q, tau); ok {
+			out = append(out, Match{Pos: i, Dist: d})
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+func sortMatches(ms []Match) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Pos < ms[j-1].Pos; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"testing"
+
+	"treejoin/internal/core"
+	"treejoin/internal/synth"
+	"treejoin/internal/tree"
+)
+
+// TestShardedMatchesSelfJoin: the fragment-and-replicate decomposition
+// returns exactly the sequential join's pairs, for every shard count and
+// worker count.
+func TestShardedMatchesSelfJoin(t *testing.T) {
+	ts := synth.Synthetic(120, 43)
+	for _, tau := range []int{1, 3} {
+		want, _ := core.SelfJoin(ts, core.Options{Tau: tau})
+		for _, shards := range []int{1, 2, 3, 7, 16} {
+			for _, workers := range []int{0, 1, 4} {
+				got, stats := core.ShardedSelfJoin(ts, shards, core.Options{Tau: tau, Workers: workers})
+				if len(got) != len(want) {
+					t.Fatalf("τ=%d shards=%d workers=%d: %d pairs, want %d",
+						tau, shards, workers, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("τ=%d shards=%d: pair %d = %v, want %v",
+							tau, shards, i, got[i], want[i])
+					}
+				}
+				if stats.Results != int64(len(want)) {
+					t.Fatalf("stats results %d", stats.Results)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSizeSkip: shards whose size ranges are further than τ apart
+// generate no cross tasks, so the candidate total stays below the all-pairs
+// task count's worst case. Verified indirectly: a collection of two widely
+// separated size clusters joins with zero cross-cluster candidates.
+func TestShardedSizeSkip(t *testing.T) {
+	lt := tree.NewLabelTable()
+	var ts []*tree.Tree
+	// Cluster A: chains of 3; cluster B: chains of 30.
+	for i := 0; i < 10; i++ {
+		b := tree.NewBuilder(lt)
+		n := b.Root("a")
+		for j := 0; j < 2; j++ {
+			n = b.Child(n, "a")
+		}
+		ts = append(ts, b.MustBuild())
+	}
+	for i := 0; i < 10; i++ {
+		b := tree.NewBuilder(lt)
+		n := b.Root("b")
+		for j := 0; j < 29; j++ {
+			n = b.Child(n, "b")
+		}
+		ts = append(ts, b.MustBuild())
+	}
+	got, _ := core.ShardedSelfJoin(ts, 2, core.Options{Tau: 2, Workers: 2})
+	want, _ := core.SelfJoin(ts, core.Options{Tau: 2})
+	if len(got) != len(want) {
+		t.Fatalf("%d pairs, want %d", len(got), len(want))
+	}
+	for _, p := range got {
+		if (p.I < 10) != (p.J < 10) {
+			t.Fatalf("cross-cluster pair %v", p)
+		}
+	}
+}
+
+// TestShardedEdgeCases: tiny collections, more shards than trees, empty
+// input.
+func TestShardedEdgeCases(t *testing.T) {
+	lt := tree.NewLabelTable()
+	if got, _ := core.ShardedSelfJoin(nil, 4, core.Options{Tau: 1}); len(got) != 0 {
+		t.Fatalf("empty collection: %v", got)
+	}
+	a := tree.MustParseBracket("{a{b}}", lt)
+	b := tree.MustParseBracket("{a{c}}", lt)
+	got, _ := core.ShardedSelfJoin([]*tree.Tree{a, b}, 8, core.Options{Tau: 1, Workers: 4})
+	if len(got) != 1 || got[0].I != 0 || got[0].J != 1 {
+		t.Fatalf("two trees: %v", got)
+	}
+}
+
+// TestShardedDuplicateTrees: repeated identical trees across shard
+// boundaries still produce each pair exactly once.
+func TestShardedDuplicateTrees(t *testing.T) {
+	lt := tree.NewLabelTable()
+	a := tree.MustParseBracket("{a{b}{c}}", lt)
+	ts := []*tree.Tree{a, a.Clone(), a.Clone(), a.Clone(), a.Clone()}
+	got, _ := core.ShardedSelfJoin(ts, 3, core.Options{Tau: 0, Workers: 2})
+	if want := 5 * 4 / 2; len(got) != want {
+		t.Fatalf("%d pairs, want %d", len(got), want)
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range got {
+		k := [2]int{p.I, p.J}
+		if seen[k] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"treejoin/internal/sim"
+	"treejoin/internal/tree"
+)
+
+// Threshold-free queries (an extension beyond the paper): the similarity
+// join and search take a TED threshold τ, but two common workloads do not
+// know one up front — "find the k most similar pairs in the collection" and
+// "find the k nearest neighbours of this query". Both reduce to the
+// thresholded forms by an expanding-threshold search: a run at threshold τ
+// is complete for distances ≤ τ, so as soon as it produces k hits the k
+// best of them are the global answer (anything unseen is farther than τ,
+// hence farther than the k-th hit). Thresholds grow geometrically, so the
+// total work is dominated by the last round — the round a clairvoyant
+// caller with the right τ would have paid for anyway.
+
+// TopK returns the k closest pairs of the collection by TED, ties broken by
+// (Dist, I, J). It runs PartSJ self-joins at geometrically increasing
+// thresholds, starting from opts.Tau (minimum 1), until k pairs are within
+// reach or every pair has been reported. Fewer than k pairs are returned
+// only when the collection has fewer than k pairs overall.
+func TopK(ts []*tree.Tree, k int, opts Options) []sim.Pair {
+	if err := opts.validate(); err != nil {
+		panic(err)
+	}
+	if k <= 0 || len(ts) < 2 {
+		return nil
+	}
+	if all := len(ts) * (len(ts) - 1) / 2; k > all {
+		k = all
+	}
+	// τ never needs to exceed maxSize + secondMaxSize: deleting one tree
+	// entirely and inserting the other is an edit script for any pair.
+	var max1, max2 int
+	for _, t := range ts {
+		switch s := t.Size(); {
+		case s > max1:
+			max1, max2 = s, max1
+		case s > max2:
+			max2 = s
+		}
+	}
+	tauCap := max1 + max2
+	tau := opts.Tau
+	if tau < 1 {
+		tau = 1
+	}
+	for {
+		o := opts
+		o.Tau = tau
+		pairs, _ := SelfJoin(ts, o)
+		if len(pairs) >= k || tau >= tauCap {
+			sortByDist(pairs)
+			if len(pairs) > k {
+				pairs = pairs[:k]
+			}
+			return pairs
+		}
+		tau *= 2
+		if tau > tauCap {
+			tau = tauCap
+		}
+	}
+}
+
+// sortByDist orders pairs by (Dist, I, J).
+func sortByDist(ps []sim.Pair) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].Dist != ps[b].Dist {
+			return ps[a].Dist < ps[b].Dist
+		}
+		if ps[a].I != ps[b].I {
+			return ps[a].I < ps[b].I
+		}
+		return ps[a].J < ps[b].J
+	})
+}
+
+// KNN answers k-nearest-neighbour queries over a fixed collection. Each
+// distinct threshold the expanding search visits builds one Index; indexes
+// are cached, so a query workload settles into reusing a handful of them.
+// Nearest is safe for concurrent use.
+type KNN struct {
+	ts     []*tree.Tree
+	opts   Options
+	tauCap int
+
+	mu    sync.Mutex
+	cache map[int]*Index
+}
+
+// NewKNN prepares a k-NN searcher over ts. opts.Tau sets the first threshold
+// tried (minimum 1); the remaining options configure the underlying indexes
+// and verifier as in NewIndex.
+func NewKNN(ts []*tree.Tree, opts Options) *KNN {
+	if err := opts.validate(); err != nil {
+		panic(err)
+	}
+	var max1 int
+	for _, t := range ts {
+		if s := t.Size(); s > max1 {
+			max1 = s
+		}
+	}
+	return &KNN{ts: ts, opts: opts, tauCap: max1, cache: make(map[int]*Index)}
+}
+
+// Len returns the collection size.
+func (x *KNN) Len() int { return len(x.ts) }
+
+// Tree returns the i-th collection tree.
+func (x *KNN) Tree(i int) *tree.Tree { return x.ts[i] }
+
+func (x *KNN) index(tau int) *Index {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	ix := x.cache[tau]
+	if ix == nil {
+		o := x.opts
+		o.Tau = tau
+		ix = NewIndex(x.ts, o)
+		x.cache[tau] = ix
+	}
+	return ix
+}
+
+// Nearest returns the k collection trees closest to q by TED, ordered by
+// (Dist, Pos). Fewer than k matches are returned only when the collection
+// holds fewer than k trees.
+func (x *KNN) Nearest(q *tree.Tree, k int) []Match {
+	if k <= 0 || len(x.ts) == 0 {
+		return nil
+	}
+	if k > len(x.ts) {
+		k = len(x.ts)
+	}
+	tauCap := x.tauCap + q.Size()
+	tau := x.opts.Tau
+	if tau < 1 {
+		tau = 1
+	}
+	for {
+		ms := x.index(tau).Search(q)
+		if len(ms) >= k || tau >= tauCap {
+			sort.Slice(ms, func(a, b int) bool {
+				if ms[a].Dist != ms[b].Dist {
+					return ms[a].Dist < ms[b].Dist
+				}
+				return ms[a].Pos < ms[b].Pos
+			})
+			if len(ms) > k {
+				ms = ms[:k]
+			}
+			return ms
+		}
+		tau *= 2
+		if tau > tauCap {
+			tau = tauCap
+		}
+	}
+}

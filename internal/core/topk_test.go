@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"treejoin/internal/core"
+	"treejoin/internal/sim"
+	"treejoin/internal/synth"
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// topkOracle computes the true k closest pairs by exhaustive TED.
+func topkOracle(ts []*tree.Tree, k int) []sim.Pair {
+	var all []sim.Pair
+	for i := 0; i < len(ts); i++ {
+		for j := i + 1; j < len(ts); j++ {
+			all = append(all, sim.Pair{I: i, J: j, Dist: ted.Distance(ts[i], ts[j])})
+		}
+	}
+	// Selection sort by (Dist, I, J) — plenty for test sizes.
+	for i := 0; i < len(all) && i < k; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[j], all[best]
+			if a.Dist != b.Dist {
+				if a.Dist < b.Dist {
+					best = j
+				}
+				continue
+			}
+			if a.I != b.I {
+				if a.I < b.I {
+					best = j
+				}
+				continue
+			}
+			if a.J < b.J {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestTopKMatchesOracle(t *testing.T) {
+	ts := synth.Synthetic(40, 23)
+	for _, k := range []int{1, 3, 10, 25} {
+		got := core.TopK(ts, k, core.Options{})
+		want := topkOracle(ts, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d pairs, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: pair %d = %v, want %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	ts := synth.Synthetic(12, 29)
+	if got := core.TopK(ts, 0, core.Options{}); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := core.TopK(ts[:1], 5, core.Options{}); got != nil {
+		t.Fatalf("single tree returned %v", got)
+	}
+	if got := core.TopK(nil, 5, core.Options{}); got != nil {
+		t.Fatalf("empty collection returned %v", got)
+	}
+	// k above the pair count returns every pair, sorted by distance.
+	all := len(ts) * (len(ts) - 1) / 2
+	got := core.TopK(ts, all+100, core.Options{})
+	if len(got) != all {
+		t.Fatalf("k beyond pair count: %d pairs, want %d", len(got), all)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatalf("unsorted distances at %d", i)
+		}
+	}
+}
+
+// TestTopKIdenticalTrees: duplicates give zero-distance pairs that must rank
+// first.
+func TestTopKIdenticalTrees(t *testing.T) {
+	lt := tree.NewLabelTable()
+	a := tree.MustParseBracket("{a{b}{c{d}}}", lt)
+	ts := []*tree.Tree{a, a.Clone(), tree.MustParseBracket("{x{y}}", lt), a.Clone()}
+	got := core.TopK(ts, 3, core.Options{})
+	if len(got) != 3 {
+		t.Fatalf("got %d pairs", len(got))
+	}
+	for _, p := range got {
+		if p.Dist != 0 {
+			t.Fatalf("expected the three duplicate pairs first, got %v", got)
+		}
+	}
+}
+
+func TestKNNMatchesOracle(t *testing.T) {
+	ts := synth.Synthetic(40, 31)
+	knn := core.NewKNN(ts, core.Options{})
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 5; trial++ {
+		q := ts[rng.Intn(len(ts))]
+		for _, k := range []int{1, 4, 12} {
+			got := knn.Nearest(q, k)
+			// Oracle: all distances, selection of k smallest by (Dist, Pos).
+			type cand struct{ pos, dist int }
+			var all []cand
+			for i, t2 := range ts {
+				all = append(all, cand{i, ted.Distance(q, t2)})
+			}
+			for i := 0; i < k; i++ {
+				best := i
+				for j := i + 1; j < len(all); j++ {
+					if all[j].dist < all[best].dist ||
+						(all[j].dist == all[best].dist && all[j].pos < all[best].pos) {
+						best = j
+					}
+				}
+				all[i], all[best] = all[best], all[i]
+			}
+			if len(got) != k {
+				t.Fatalf("k=%d: got %d matches", k, len(got))
+			}
+			for i := 0; i < k; i++ {
+				if got[i].Pos != all[i].pos || got[i].Dist != all[i].dist {
+					t.Fatalf("k=%d: match %d = %+v, want pos=%d dist=%d",
+						k, i, got[i], all[i].pos, all[i].dist)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNForeignQuery(t *testing.T) {
+	lt := tree.NewLabelTable()
+	ts := []*tree.Tree{
+		tree.MustParseBracket("{a{b}{c}}", lt),
+		tree.MustParseBracket("{a{b}{c}{d}}", lt),
+		tree.MustParseBracket("{x{y{z{w}}}}", lt),
+	}
+	knn := core.NewKNN(ts, core.Options{})
+	q := tree.MustParseBracket("{a{b}{c}{d}{e}}", lt)
+	got := knn.Nearest(q, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d matches", len(got))
+	}
+	if got[0].Pos != 1 || got[0].Dist != 1 {
+		t.Fatalf("nearest = %+v, want pos=1 dist=1", got[0])
+	}
+	if got[1].Pos != 0 || got[1].Dist != 2 {
+		t.Fatalf("second = %+v, want pos=0 dist=2", got[1])
+	}
+}
+
+func TestKNNConcurrent(t *testing.T) {
+	ts := synth.Synthetic(30, 41)
+	knn := core.NewKNN(ts, core.Options{})
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := ts[w%len(ts)]
+			ms := knn.Nearest(q, 3)
+			if len(ms) != 3 {
+				errs <- "short result"
+				return
+			}
+			if ms[0].Dist != 0 {
+				errs <- "self not nearest"
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	lt := tree.NewLabelTable()
+	q := tree.MustParseBracket("{a}", lt)
+	empty := core.NewKNN(nil, core.Options{})
+	if got := empty.Nearest(q, 3); got != nil {
+		t.Fatalf("empty collection returned %v", got)
+	}
+	one := core.NewKNN([]*tree.Tree{tree.MustParseBracket("{b{c}}", lt)}, core.Options{})
+	got := one.Nearest(q, 5)
+	if len(got) != 1 || got[0].Pos != 0 {
+		t.Fatalf("singleton collection returned %v", got)
+	}
+	if got[0].Dist != 2 {
+		t.Fatalf("dist = %d, want 2", got[0].Dist)
+	}
+	if got := one.Nearest(q, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}

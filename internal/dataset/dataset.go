@@ -1,0 +1,307 @@
+// Package dataset implements a compact binary on-disk format for tree
+// collections. Large collections (the paper joins up to 100K trees) are slow
+// to re-parse from text on every run; the binary format stores the interned
+// label table once and each tree as its preorder label/child-count
+// sequence, loads with a single pass and no string re-interning, and is
+// integrity-checked by a trailing CRC.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic   "TJDS" (4 bytes)
+//	version byte (currently 1)
+//	labelCount, then per label: byteLen, bytes
+//	treeCount, then per tree: nodeCount, then per node in preorder:
+//	    labelID, childCount
+//	crc32   IEEE checksum of everything after the magic (4 bytes LE)
+//
+// The preorder (label, childCount) stream reconstructs each tree with one
+// stack pass; child order is preserved exactly.
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"treejoin/internal/tree"
+)
+
+var magic = [4]byte{'T', 'J', 'D', 'S'}
+
+const version = 1
+
+// Sanity caps: a corrupt or hostile header must not drive allocations. The
+// caps are far above anything the module generates.
+const (
+	maxLabels    = 1 << 26 // 64M distinct labels
+	maxLabelLen  = 1 << 20 // 1 MiB per label
+	maxTrees     = 1 << 28
+	maxTreeNodes = 1 << 28
+)
+
+// ErrCorrupt reports a malformed or truncated dataset; errors.Is against it
+// matches every decode failure produced by this package.
+var ErrCorrupt = errors.New("dataset: corrupt input")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Write encodes lt and ts to w. Every tree must use lt as its label table.
+func Write(w io.Writer, lt *tree.LabelTable, ts []*tree.Tree) error {
+	for i, t := range ts {
+		if t.Labels != lt {
+			return fmt.Errorf("dataset: tree %d does not use the given label table", i)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := out.Write(buf[:n])
+		return err
+	}
+	if _, err := out.Write([]byte{version}); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := writeUvarint(uint64(lt.Len())); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	for id := 0; id < lt.Len(); id++ {
+		name := lt.Name(int32(id))
+		if err := writeUvarint(uint64(len(name))); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		if _, err := io.WriteString(out, name); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+	}
+	if err := writeUvarint(uint64(len(ts))); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	for _, t := range ts {
+		if err := writeUvarint(uint64(t.Size())); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		for _, n := range tree.Preorder(t) {
+			if err := writeUvarint(uint64(t.Nodes[n].Label)); err != nil {
+				return fmt.Errorf("dataset: %w", err)
+			}
+			var fan uint64
+			for c := t.Nodes[n].FirstChild; c != tree.None; c = t.Nodes[c].NextSibling {
+				fan++
+			}
+			if err := writeUvarint(fan); err != nil {
+				return fmt.Errorf("dataset: %w", err)
+			}
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return nil
+}
+
+// crcReader feeds everything read through a CRC.
+type crcReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (cr *crcReader) read(p []byte) error {
+	if _, err := io.ReadFull(cr.r, p); err != nil {
+		return err
+	}
+	cr.crc.Write(p)
+	return nil
+}
+
+func (cr *crcReader) uvarint(cap uint64, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return 0, corruptf("reading %s: %v", what, err)
+	}
+	if v > cap {
+		return 0, corruptf("%s %d exceeds limit %d", what, v, cap)
+	}
+	return v, nil
+}
+
+// Read decodes a dataset from r, returning the label table and the trees.
+func Read(r io.Reader) (*tree.LabelTable, []*tree.Tree, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, nil, corruptf("reading magic: %v", err)
+	}
+	if m != magic {
+		return nil, nil, corruptf("bad magic %q", m[:])
+	}
+	cr := &crcReader{r: br, crc: crc32.NewIEEE()}
+	ver, err := cr.ReadByte()
+	if err != nil {
+		return nil, nil, corruptf("reading version: %v", err)
+	}
+	if ver != version {
+		return nil, nil, corruptf("unsupported version %d", ver)
+	}
+	nLabels, err := cr.uvarint(maxLabels, "label count")
+	if err != nil {
+		return nil, nil, err
+	}
+	lt := tree.NewLabelTable()
+	nameBuf := make([]byte, 0, 64)
+	for i := uint64(0); i < nLabels; i++ {
+		ln, err := cr.uvarint(maxLabelLen, "label length")
+		if err != nil {
+			return nil, nil, err
+		}
+		if uint64(cap(nameBuf)) < ln {
+			nameBuf = make([]byte, ln)
+		}
+		nameBuf = nameBuf[:ln]
+		if err := cr.read(nameBuf); err != nil {
+			return nil, nil, corruptf("reading label %d: %v", i, err)
+		}
+		if id := lt.Intern(string(nameBuf)); id != int32(i) {
+			return nil, nil, corruptf("duplicate label %q", nameBuf)
+		}
+	}
+	nTrees, err := cr.uvarint(maxTrees, "tree count")
+	if err != nil {
+		return nil, nil, err
+	}
+	ts := make([]*tree.Tree, 0, min64(nTrees, 1<<16))
+	for ti := uint64(0); ti < nTrees; ti++ {
+		n, err := cr.uvarint(maxTreeNodes, "tree size")
+		if err != nil {
+			return nil, nil, err
+		}
+		if n == 0 {
+			return nil, nil, corruptf("tree %d is empty", ti)
+		}
+		t, err := readTree(cr, lt, int(n), ti)
+		if err != nil {
+			return nil, nil, err
+		}
+		ts = append(ts, t)
+	}
+	got := cr.crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, nil, corruptf("reading checksum: %v", err)
+	}
+	if want := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, nil, corruptf("checksum mismatch: %08x != %08x", got, want)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, nil, corruptf("trailing bytes after checksum")
+	}
+	return lt, ts, nil
+}
+
+// readTree reconstructs one tree from its preorder (label, childCount)
+// stream. pending[k] counts the children still owed to the node on stack
+// level k.
+func readTree(cr *crcReader, lt *tree.LabelTable, n int, ti uint64) (*tree.Tree, error) {
+	b := tree.NewBuilder(lt)
+	type frame struct {
+		id      int32
+		pending uint64
+	}
+	var stack []frame
+	for i := 0; i < n; i++ {
+		label, err := cr.uvarint(uint64(lt.Len()), "label id")
+		if err != nil {
+			return nil, err
+		}
+		if label >= uint64(lt.Len()) {
+			return nil, corruptf("tree %d node %d: label id %d out of range", ti, i, label)
+		}
+		fan, err := cr.uvarint(uint64(n), "child count")
+		if err != nil {
+			return nil, err
+		}
+		var id int32
+		if len(stack) == 0 {
+			if i != 0 {
+				return nil, corruptf("tree %d: node %d after the root completed", ti, i)
+			}
+			id = b.RootID(int32(label))
+		} else {
+			top := &stack[len(stack)-1]
+			id = b.ChildID(top.id, int32(label))
+			top.pending--
+		}
+		if fan > 0 {
+			stack = append(stack, frame{id: id, pending: fan})
+		}
+		for len(stack) > 0 && stack[len(stack)-1].pending == 0 {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return nil, corruptf("tree %d: %d nodes missing", ti, len(stack))
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, corruptf("tree %d: %v", ti, err)
+	}
+	return t, nil
+}
+
+func min64(a uint64, b int) int {
+	if a < uint64(b) {
+		return int(a)
+	}
+	return b
+}
+
+// WriteFile writes the dataset to path.
+func WriteFile(path string, lt *tree.LabelTable, ts []*tree.Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := Write(f, lt, ts); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads a dataset from path.
+func ReadFile(path string) (*tree.LabelTable, []*tree.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,125 @@
+// Package lcrs provides the left-child right-sibling (Knuth) binary view of a
+// general rooted ordered labeled tree, together with the binary postorder
+// numbering that the PartSJ index keys on.
+//
+// A tree.Tree already stores FirstChild/NextSibling links, so the binary view
+// needs no structural transformation: the binary left child of a node is its
+// first child and the binary right child is its next sibling. What this
+// package adds is the binary-tree traversal order (which differs from the
+// general tree's orders) and convenience accessors phrased in binary terms.
+package lcrs
+
+import "treejoin/internal/tree"
+
+// None re-exports tree.None for readability at call sites.
+const None = tree.None
+
+// Bin is the binary (LC-RS) view of a general tree. It is immutable after
+// Build and safe for concurrent use.
+type Bin struct {
+	Tree *tree.Tree
+	// Order lists node ids in binary postorder (left subtree, right
+	// subtree, node).
+	Order []int32
+	// Rank is the inverse of Order: Rank[n] is node n's 0-based binary
+	// postorder rank. The paper's 1-based postorder identifier of n is
+	// Rank[n]+1.
+	Rank []int32
+	// GenRank[n] is node n's 0-based rank in the *general* tree's postorder.
+	// Unlike the binary postorder, the general postorder of surviving nodes
+	// is stable under node edit operations, which makes it the only safe
+	// basis for the join's positional index keys (see internal/core).
+	GenRank []int32
+}
+
+// Build computes the binary view of t.
+func Build(t *tree.Tree) *Bin {
+	n := t.Size()
+	b := &Bin{
+		Tree:    t,
+		Order:   make([]int32, 0, n),
+		Rank:    make([]int32, n),
+		GenRank: make([]int32, n),
+	}
+	for i, v := range tree.Postorder(t) {
+		b.GenRank[v] = int32(i)
+	}
+	// Iterative binary postorder; trees can be deep chains, so no recursion.
+	type frame struct {
+		node  int32
+		stage int8 // 0 = visit left, 1 = visit right, 2 = emit
+	}
+	stack := make([]frame, 0, 32)
+	stack = append(stack, frame{t.Root(), 0})
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		switch top.stage {
+		case 0:
+			top.stage = 1
+			if l := b.Left(top.node); l != None {
+				stack = append(stack, frame{l, 0})
+			}
+		case 1:
+			top.stage = 2
+			if r := b.Right(top.node); r != None {
+				stack = append(stack, frame{r, 0})
+			}
+		default:
+			b.Rank[top.node] = int32(len(b.Order))
+			b.Order = append(b.Order, top.node)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return b
+}
+
+// Size returns the number of nodes.
+func (b *Bin) Size() int { return len(b.Order) }
+
+// Left returns the binary left child of n (the general tree's first child).
+func (b *Bin) Left(n int32) int32 { return b.Tree.Nodes[n].FirstChild }
+
+// Right returns the binary right child of n (the general tree's next
+// sibling).
+func (b *Bin) Right(n int32) int32 { return b.Tree.Nodes[n].NextSibling }
+
+// Label returns the interned label id of n.
+func (b *Bin) Label(n int32) int32 { return b.Tree.Nodes[n].Label }
+
+// Parent returns the binary parent of n: the node whose left or right pointer
+// targets n. In LC-RS terms that is the general-tree parent when n is a first
+// child, and the previous sibling otherwise.
+func (b *Bin) Parent(n int32) int32 {
+	nd := b.Tree.Nodes[n]
+	if nd.Parent == None {
+		return None
+	}
+	if b.Tree.Nodes[nd.Parent].FirstChild == n {
+		return nd.Parent
+	}
+	// Walk the sibling chain to find the predecessor.
+	for c := b.Tree.Nodes[nd.Parent].FirstChild; c != None; c = b.Tree.Nodes[c].NextSibling {
+		if b.Tree.Nodes[c].NextSibling == n {
+			return c
+		}
+	}
+	return None
+}
+
+// SubtreeSizes returns the size of the binary subtree rooted at each node,
+// indexed by node id. Binary subtree sizes differ from general subtree sizes:
+// a node's binary subtree also contains its right siblings and their
+// descendants.
+func (b *Bin) SubtreeSizes() []int32 {
+	sz := make([]int32, b.Size())
+	for _, n := range b.Order { // children precede parents in binary postorder
+		sz[n] = 1
+		if l := b.Left(n); l != None {
+			sz[n] += sz[l]
+		}
+		if r := b.Right(n); r != None {
+			sz[n] += sz[r]
+		}
+	}
+	return sz
+}

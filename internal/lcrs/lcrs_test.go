@@ -1,0 +1,155 @@
+package lcrs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treejoin/internal/lcrs"
+	"treejoin/internal/tree"
+)
+
+func randomTree(rng *rand.Rand, maxN int, labels *tree.LabelTable) *tree.Tree {
+	if labels == nil {
+		labels = tree.NewLabelTable()
+	}
+	n := 1 + rng.Intn(maxN)
+	b := tree.NewBuilder(labels)
+	b.Root("r")
+	for i := 1; i < n; i++ {
+		b.Child(int32(rng.Intn(i)), string(rune('a'+rng.Intn(4))))
+	}
+	return b.MustBuild()
+}
+
+// TestFigure4 checks the Knuth transformation against the paper's Figure 4:
+// the general tree l1(l2(l3,l4,l5), l6, l7(l8(l9,l10))) maps to the binary
+// tree where l2's left child is l3, l3's right child is l4, etc.
+func TestFigure4(t *testing.T) {
+	lt := tree.NewLabelTable()
+	g := tree.MustParseBracket("{l1{l2{l3}{l4}{l5}}{l6}{l7{l8{l9}{l10}}}}", lt)
+	b := lcrs.Build(g)
+	byLabel := func(name string) int32 {
+		for id := range g.Nodes {
+			if g.Label(int32(id)) == name {
+				return int32(id)
+			}
+		}
+		t.Fatalf("label %s missing", name)
+		return -1
+	}
+	lbl := func(n int32) string {
+		if n == lcrs.None {
+			return "ε"
+		}
+		return g.Label(n)
+	}
+	// Expected binary structure from Figure 4(b).
+	wantLeft := map[string]string{
+		"l1": "l2", "l2": "l3", "l3": "ε", "l4": "ε", "l5": "ε",
+		"l6": "ε", "l7": "l8", "l8": "l9", "l9": "ε", "l10": "ε",
+	}
+	wantRight := map[string]string{
+		"l1": "ε", "l2": "l6", "l3": "l4", "l4": "l5", "l5": "ε",
+		"l6": "l7", "l7": "ε", "l8": "ε", "l9": "l10", "l10": "ε",
+	}
+	for name, wl := range wantLeft {
+		if got := lbl(b.Left(byLabel(name))); got != wl {
+			t.Errorf("Left(%s) = %s, want %s", name, got, wl)
+		}
+	}
+	for name, wr := range wantRight {
+		if got := lbl(b.Right(byLabel(name))); got != wr {
+			t.Errorf("Right(%s) = %s, want %s", name, got, wr)
+		}
+	}
+}
+
+func TestBinaryPostorderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		g := randomTree(rng, 80, nil)
+		b := lcrs.Build(g)
+		if b.Size() != g.Size() {
+			t.Fatalf("size mismatch")
+		}
+		// Order and Rank are inverse permutations.
+		for r, n := range b.Order {
+			if b.Rank[n] != int32(r) {
+				t.Fatalf("Rank/Order inconsistent at %d", r)
+			}
+		}
+		// The root is last in binary postorder.
+		if b.Order[len(b.Order)-1] != g.Root() {
+			t.Fatalf("root not last in binary postorder")
+		}
+		// Binary children precede their binary parent.
+		for id := range g.Nodes {
+			n := int32(id)
+			if l := b.Left(n); l != lcrs.None && b.Rank[l] >= b.Rank[n] {
+				t.Fatalf("left child ranked after parent")
+			}
+			if r := b.Right(n); r != lcrs.None && b.Rank[r] >= b.Rank[n] {
+				t.Fatalf("right child ranked after parent")
+			}
+		}
+	}
+}
+
+func TestBinaryParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 100; i++ {
+		g := randomTree(rng, 60, nil)
+		b := lcrs.Build(g)
+		for id := range g.Nodes {
+			n := int32(id)
+			if l := b.Left(n); l != lcrs.None && b.Parent(l) != n {
+				t.Fatalf("Parent(Left(%d)) = %d", n, b.Parent(l))
+			}
+			if r := b.Right(n); r != lcrs.None && b.Parent(r) != n {
+				t.Fatalf("Parent(Right(%d)) = %d", n, b.Parent(r))
+			}
+		}
+		if b.Parent(g.Root()) != lcrs.None {
+			t.Fatal("root has a binary parent")
+		}
+	}
+}
+
+func TestBinarySubtreeSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 100; i++ {
+		g := randomTree(rng, 60, nil)
+		b := lcrs.Build(g)
+		sz := b.SubtreeSizes()
+		if sz[g.Root()] != int32(g.Size()) {
+			t.Fatalf("root binary subtree = %d, want %d", sz[g.Root()], g.Size())
+		}
+		for id := range g.Nodes {
+			n := int32(id)
+			want := int32(1)
+			if l := b.Left(n); l != lcrs.None {
+				want += sz[l]
+			}
+			if r := b.Right(n); r != lcrs.None {
+				want += sz[r]
+			}
+			if sz[n] != want {
+				t.Fatalf("size[%d] = %d, want %d", n, sz[n], want)
+			}
+		}
+	}
+}
+
+func TestDeepChainNoOverflow(t *testing.T) {
+	// A 100k-deep chain exercises the iterative traversal.
+	b := tree.NewBuilder(nil)
+	cur := b.Root("a")
+	for i := 0; i < 100000; i++ {
+		cur = b.Child(cur, "a")
+	}
+	g := b.MustBuild()
+	bin := lcrs.Build(g)
+	if bin.Size() != g.Size() {
+		t.Fatal("size mismatch")
+	}
+}

@@ -1,0 +1,103 @@
+package pqgram
+
+import (
+	"sort"
+
+	"treejoin/internal/tree"
+)
+
+// Indexed approximate join. The naive Join compares all profile pairs; for
+// large collections the standard set-similarity machinery applies instead:
+//
+//   - Size filter. dist(a,b) ≤ eps requires 2·I ≥ (1−eps)(|a|+|b|) with
+//     I ≤ min(|a|,|b|), so |b| ≥ |a|·(1−eps)/(1+eps): profiles much smaller
+//     than a probe cannot qualify and are skipped wholesale by processing
+//     profiles in ascending size order.
+//   - Inverted index. Each distinct gram fingerprint maps to the postings of
+//     previously-seen profiles containing it (with multiplicity). Probing
+//     accumulates Σ min(count_a[h], count_b[h]) per partner — exactly the
+//     bag intersection — so the distance test is evaluated from the
+//     accumulator without touching profiles that share no gram.
+//
+// The result is identical to Join's, pair for pair; only the work changes:
+// Join is Θ(n²) profile merges, JoinIndexed touches a posting only when a
+// probe shares that gram. Hyper-frequent grams (tiny label alphabets) make
+// the postings long and erode the gain — the same caveat the SET baseline
+// carries — but nothing is lost versus the naive join.
+
+// posting records one profile's multiplicity of a gram.
+type posting struct {
+	id    int32
+	count int32
+}
+
+// JoinIndexed reports every pair of trees whose normalised pq-gram distance
+// is at most eps, like Join, using a size-ordered inverted-index evaluation.
+// Pairs are in ascending (I, J) order.
+func JoinIndexed(ts []*tree.Tree, p, q int, eps float64) [][2]int {
+	if eps >= 1 {
+		// Degenerate threshold: pairs sharing no gram qualify too, which the
+		// inverted index cannot surface — every pair is a result anyway.
+		return Join(ts, p, q, eps)
+	}
+	profiles := make([]*Profile, len(ts))
+	for i, t := range ts {
+		profiles[i] = New(t, p, q)
+	}
+	// Ascending profile size; the probe is always the largest so far.
+	order := make([]int, len(ts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return profiles[order[a]].Len() < profiles[order[b]].Len()
+	})
+
+	index := make(map[uint64][]posting)
+	overlap := make(map[int32]int32) // partner id -> accumulated min-count
+	var out [][2]int
+	for _, i := range order {
+		pi := profiles[i]
+		// Distinct grams of pi with multiplicities (Hashes is sorted).
+		clear(overlap)
+		for lo := 0; lo < len(pi.Hashes); {
+			hi := lo + 1
+			for hi < len(pi.Hashes) && pi.Hashes[hi] == pi.Hashes[lo] {
+				hi++
+			}
+			h, cnt := pi.Hashes[lo], int32(hi-lo)
+			for _, ps := range index[h] {
+				m := ps.count
+				if cnt < m {
+					m = cnt
+				}
+				overlap[ps.id] += m
+			}
+			index[h] = append(index[h], posting{id: int32(i), count: cnt})
+			lo = hi
+		}
+		// minLen: the smallest partner profile that could still qualify.
+		minLen := int(float64(pi.Len()) * (1 - eps) / (1 + eps))
+		for j, inter := range overlap {
+			pj := profiles[j]
+			if pj.Len() < minLen {
+				continue
+			}
+			total := pi.Len() + pj.Len()
+			if total == 0 || 2*float64(inter) >= (1-eps)*float64(total) {
+				a, b := int(j), i
+				if a > b {
+					a, b = b, a
+				}
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x][0] != out[y][0] {
+			return out[x][0] < out[y][0]
+		}
+		return out[x][1] < out[y][1]
+	})
+	return out
+}

@@ -1,0 +1,97 @@
+package pqgram_test
+
+import (
+	"testing"
+
+	"treejoin/internal/baseline"
+	"treejoin/internal/pqgram"
+	"treejoin/internal/synth"
+	"treejoin/internal/tree"
+)
+
+// TestJoinIndexedMatchesNaive: the inverted-index join returns exactly the
+// naive join's pairs across thresholds and collections.
+func TestJoinIndexedMatchesNaive(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		ts := synth.Synthetic(80, seed)
+		for _, eps := range []float64{0, 0.1, 0.3, 0.6, 1.0} {
+			want := pqgram.Join(ts, 2, 3, eps)
+			got := pqgram.JoinIndexed(ts, 2, 3, eps)
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d eps=%.1f: %d pairs, want %d", seed, eps, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed=%d eps=%.1f: pair %d = %v, want %v", seed, eps, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestJoinIndexedShapes: other (p, q) shapes agree too.
+func TestJoinIndexedShapes(t *testing.T) {
+	ts := synth.Synthetic(50, 7)
+	for _, pq := range [][2]int{{1, 1}, {1, 3}, {3, 2}, {2, 4}} {
+		want := pqgram.Join(ts, pq[0], pq[1], 0.4)
+		got := pqgram.JoinIndexed(ts, pq[0], pq[1], 0.4)
+		if len(got) != len(want) {
+			t.Fatalf("p=%d q=%d: %d pairs, want %d", pq[0], pq[1], len(got), len(want))
+		}
+	}
+}
+
+// TestJoinIndexedIdenticalTrees: eps = 0 surfaces exactly the
+// identical-profile pairs.
+func TestJoinIndexedIdenticalTrees(t *testing.T) {
+	lt := tree.NewLabelTable()
+	a := tree.MustParseBracket("{a{b}{c{d}}}", lt)
+	ts := []*tree.Tree{a, a.Clone(), tree.MustParseBracket("{x{y}}", lt)}
+	got := pqgram.JoinIndexed(ts, 2, 3, 0)
+	if len(got) != 1 || got[0] != [2]int{0, 1} {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestApproxJoinRecall: on clustered near-duplicate data the pq-gram join at
+// a moderate eps recovers a large fraction of the true TED join (recall),
+// the quality claim of approximate filters. This is a statistical property
+// of the generator, pinned with a fixed seed.
+func TestApproxJoinRecall(t *testing.T) {
+	ts := synth.Synthetic(120, 13)
+	exact, _ := baseline.BruteForce(ts, baseline.Options{Tau: 3})
+	if len(exact) == 0 {
+		t.Fatal("generator produced no similar pairs")
+	}
+	approx := pqgram.JoinIndexed(ts, 2, 3, 0.5)
+	inApprox := make(map[[2]int]bool, len(approx))
+	for _, p := range approx {
+		inApprox[p] = true
+	}
+	hits := 0
+	for _, p := range exact {
+		if inApprox[[2]int{p.I, p.J}] {
+			hits++
+		}
+	}
+	recall := float64(hits) / float64(len(exact))
+	if recall < 0.8 {
+		t.Fatalf("recall %.2f below 0.8 (%d of %d)", recall, hits, len(exact))
+	}
+}
+
+func BenchmarkJoinNaive(b *testing.B) {
+	ts := synth.Synthetic(200, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pqgram.Join(ts, 2, 3, 0.3)
+	}
+}
+
+func BenchmarkJoinIndexed(b *testing.B) {
+	ts := synth.Synthetic(200, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pqgram.JoinIndexed(ts, 2, 3, 0.3)
+	}
+}

@@ -1,0 +1,151 @@
+// Package sim holds the plumbing shared by every similarity-join method in
+// this module: result pairs, per-phase statistics, size-ordered processing,
+// and a parallel TED verification stage.
+package sim
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// Pair is one similarity-join result: trees I and J (indices into the joined
+// collection, I < J) with TED Dist ≤ τ.
+type Pair struct {
+	I, J int
+	Dist int
+}
+
+// SortPairs orders pairs by (I, J); all join methods return this canonical
+// order so results can be compared directly.
+func SortPairs(ps []Pair) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].I != ps[b].I {
+			return ps[a].I < ps[b].I
+		}
+		return ps[a].J < ps[b].J
+	})
+}
+
+// Stats records where a join spent its effort; the split between candidate
+// generation and TED verification is the quantity the paper's Figures 10/12
+// plot.
+type Stats struct {
+	Trees      int           // collection size
+	Candidates int64         // pairs that reached the TED verifier
+	Results    int64         // pairs with TED ≤ τ
+	CandTime   time.Duration // candidate generation (filtering) time
+	VerifyTime time.Duration // exact TED computation time
+
+	// PartSJ-specific counters (zero for the baselines).
+	PartitionTime     time.Duration // δ-partitioning of all trees
+	IndexedSubgraphs  int64         // subgraphs inserted into the two-layer index
+	SubgraphProbes    int64         // index bucket entries inspected
+	MatchTests        int64         // full subgraph-match verifications run
+	MatchHits         int64         // match tests that succeeded
+	SmallTreeFallback int64         // candidate pairs produced by the small-tree path
+}
+
+// Total returns the end-to-end join time.
+func (s *Stats) Total() time.Duration {
+	return s.CandTime + s.VerifyTime + s.PartitionTime
+}
+
+// Verifier decides whether a candidate pair is a result: it reports the
+// distance and whether it is ≤ tau. The default is ted.DistanceBounded;
+// tests inject instrumented verifiers.
+type Verifier func(t1, t2 *tree.Tree, tau int) (int, bool)
+
+// DefaultVerifier is the RTED-style bounded TED used by all join methods.
+func DefaultVerifier(t1, t2 *tree.Tree, tau int) (int, bool) {
+	return ted.DistanceBounded(t1, t2, tau)
+}
+
+// SizeOrder returns tree indices sorted by ascending size, ties by index, as
+// required by Algorithm 1 (line 3).
+func SizeOrder(ts []*tree.Tree) []int {
+	order := make([]int, len(ts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return ts[order[a]].Size() < ts[order[b]].Size()
+	})
+	return order
+}
+
+// Candidate is a pair awaiting verification.
+type Candidate struct{ I, J int }
+
+// VerifyAll runs the verifier over cands, optionally in parallel, and returns
+// the confirmed pairs (unsorted). workers ≤ 1 verifies inline. The elapsed
+// wall-clock time is added to stats.VerifyTime and len(cands) to
+// stats.Candidates.
+func VerifyAll(ts []*tree.Tree, cands []Candidate, tau int, verify Verifier, workers int, stats *Stats) []Pair {
+	if verify == nil {
+		verify = DefaultVerifier
+	}
+	start := time.Now()
+	defer func() {
+		stats.VerifyTime += time.Since(start)
+		stats.Candidates += int64(len(cands))
+	}()
+	if workers <= 1 || len(cands) < 2 {
+		var out []Pair
+		for _, c := range cands {
+			if d, ok := verify(ts[c.I], ts[c.J], tau); ok {
+				out = append(out, makePair(c, d))
+			}
+		}
+		return out
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	results := make([][]Pair, workers)
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(len(cands)) {
+			return -1
+		}
+		i := next
+		next++
+		return int(i)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				c := cands[i]
+				if d, ok := verify(ts[c.I], ts[c.J], tau); ok {
+					results[w] = append(results[w], makePair(c, d))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var out []Pair
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+func makePair(c Candidate, d int) Pair {
+	if c.I < c.J {
+		return Pair{I: c.I, J: c.J, Dist: d}
+	}
+	return Pair{I: c.J, J: c.I, Dist: d}
+}

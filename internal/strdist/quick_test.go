@@ -1,0 +1,112 @@
+package strdist_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treejoin/internal/strdist"
+)
+
+// slowLevenshtein is an independent reference: the full DP matrix, written
+// the textbook way.
+func slowLevenshtein(a, b []int32) int {
+	m, n := len(a), len(b)
+	d := make([][]int, m+1)
+	for i := range d {
+		d[i] = make([]int, n+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= n; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := d[i-1][j-1] + cost
+			if v := d[i-1][j] + 1; v < best {
+				best = v
+			}
+			if v := d[i][j-1] + 1; v < best {
+				best = v
+			}
+			d[i][j] = best
+		}
+	}
+	return d[m][n]
+}
+
+// TestQuickLevenshteinMatchesReference: the rolling-row implementation
+// agrees with the full-matrix reference on arbitrary sequences.
+func TestQuickLevenshteinMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, 30, 4)
+		b := randSeq(rng, 30, 4)
+		return strdist.Levenshtein(a, b) == slowLevenshtein(a, b)
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(801))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBoundedAgreesBelowTau: whenever the true distance is ≤ τ, Bounded
+// returns it exactly; when above, Bounded returns something above τ.
+func TestQuickBoundedAgreesBelowTau(t *testing.T) {
+	f := func(seed int64, tauRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, 25, 3)
+		b := randSeq(rng, 25, 3)
+		tau := int(tauRaw) % 12
+		d := slowLevenshtein(a, b)
+		got := strdist.Bounded(a, b, tau)
+		if d <= tau {
+			return got == d
+		}
+		return got > tau
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(809))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLevenshteinMetric: identity, symmetry, triangle inequality.
+func TestQuickLevenshteinMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, 20, 3)
+		b := randSeq(rng, 20, 3)
+		c := randSeq(rng, 20, 3)
+		ab := strdist.Levenshtein(a, b)
+		ba := strdist.Levenshtein(b, a)
+		if ab != ba {
+			return false
+		}
+		if strdist.Levenshtein(a, a) != 0 {
+			return false
+		}
+		bc := strdist.Levenshtein(b, c)
+		ac := strdist.Levenshtein(a, c)
+		return ac <= ab+bc
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(811))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBoundedNegativeTau: a negative band reports "greater than tau" for
+// every input — the documented contract.
+func TestBoundedNegativeTau(t *testing.T) {
+	if got := strdist.Bounded([]int32{1}, []int32{1}, -1); got >= 0 && got <= -1 {
+		t.Fatalf("Bounded with negative tau returned %d", got)
+	}
+	if got := strdist.Bounded(nil, nil, 0); got != 0 {
+		t.Fatalf("Bounded(nil, nil, 0) = %d", got)
+	}
+}

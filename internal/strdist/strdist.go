@@ -1,0 +1,124 @@
+// Package strdist implements string edit distance over interned label
+// sequences. It is the substrate of the STR similarity-join baseline (Guha et
+// al.), which lower-bounds the tree edit distance of two trees by the string
+// edit distance of their preorder (and postorder) label sequences.
+package strdist
+
+// Levenshtein returns the unit-cost edit distance (insert, delete,
+// substitute) between the two sequences. It runs in O(|a|·|b|) time and
+// O(min(|a|,|b|)) space.
+func Levenshtein(a, b []int32) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	// b is the shorter sequence; one rolling row of len(b)+1.
+	if len(b) == 0 {
+		return len(a)
+	}
+	row := make([]int, len(b)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0] // row[i-1][j-1]
+		row[0] = i
+		for j := 1; j <= len(b); j++ {
+			cur := row[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev + cost
+			if d := row[j] + 1; d < best {
+				best = d
+			}
+			if d := row[j-1] + 1; d < best {
+				best = d
+			}
+			row[j] = best
+			prev = cur
+		}
+	}
+	return row[len(b)]
+}
+
+// Bounded returns the edit distance between a and b if it is at most tau, and
+// otherwise any value greater than tau. It evaluates only the diagonal band
+// of width 2·tau+1 (Ukkonen's cutoff), so it runs in O(tau·min(|a|,|b|))
+// time — the reason the STR baseline can afford string joins at small τ.
+func Bounded(a, b []int32, tau int) int {
+	if tau < 0 {
+		return tau + 1
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(a)-len(b) > tau {
+		return tau + 1
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	const inf = int(^uint(0) >> 2)
+	// row[j] = distance for prefix lengths (i, j); cells outside the band
+	// hold inf.
+	row := make([]int, len(b)+1)
+	next := make([]int, len(b)+1)
+	for j := range row {
+		if j <= tau {
+			row[j] = j
+		} else {
+			row[j] = inf
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		lo := i - tau
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + tau
+		if hi > len(b) {
+			hi = len(b)
+		}
+		for j := range next {
+			next[j] = inf
+		}
+		if lo == 0 {
+			next[0] = i
+		}
+		rowMin := inf
+		start := lo
+		if start == 0 {
+			start = 1
+			rowMin = next[0]
+		}
+		for j := start; j <= hi; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := inf
+			if row[j-1] != inf && row[j-1]+cost < best {
+				best = row[j-1] + cost
+			}
+			if row[j] != inf && row[j]+1 < best {
+				best = row[j] + 1
+			}
+			if next[j-1] != inf && next[j-1]+1 < best {
+				best = next[j-1] + 1
+			}
+			next[j] = best
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		if rowMin > tau {
+			return tau + 1
+		}
+		row, next = next, row
+	}
+	if row[len(b)] > tau {
+		return tau + 1
+	}
+	return row[len(b)]
+}

@@ -1,0 +1,117 @@
+package strdist_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treejoin/internal/strdist"
+)
+
+func seq(s string) []int32 {
+	out := make([]int32, len(s))
+	for i, c := range []byte(s) {
+		out[i] = int32(c)
+	}
+	return out
+}
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "acb", 2},
+		{"a", "b", 1},
+		{"ab", "ba", 2},
+	}
+	for _, c := range cases {
+		if got := strdist.Levenshtein(seq(c.a), seq(c.b)); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := strdist.Levenshtein(seq(c.b), seq(c.a)); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestBoundedMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		a := randSeq(rng, 20, 4)
+		b := randSeq(rng, 20, 4)
+		full := strdist.Levenshtein(a, b)
+		for tau := 0; tau <= 8; tau++ {
+			got := strdist.Bounded(a, b, tau)
+			if full <= tau {
+				if got != full {
+					t.Fatalf("Bounded(τ=%d) = %d, want %d (a=%v b=%v)", tau, got, full, a, b)
+				}
+			} else if got <= tau {
+				t.Fatalf("Bounded(τ=%d) = %d but full distance %d > τ", tau, got, full)
+			}
+		}
+	}
+}
+
+func randSeq(rng *rand.Rand, maxLen, alphabet int) []int32 {
+	n := rng.Intn(maxLen + 1)
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(rng.Intn(alphabet))
+	}
+	return out
+}
+
+func TestBoundedEdgeCases(t *testing.T) {
+	if got := strdist.Bounded(seq("abc"), seq("abc"), 0); got != 0 {
+		t.Errorf("identical τ=0: %d", got)
+	}
+	if got := strdist.Bounded(seq("abc"), seq("abd"), 0); got <= 0 {
+		t.Errorf("different τ=0 should exceed: %d", got)
+	}
+	if got := strdist.Bounded(seq(""), seq("aaaa"), 2); got <= 2 {
+		t.Errorf("length gap beyond τ: %d", got)
+	}
+	if got := strdist.Bounded(seq(""), seq(""), 3); got != 0 {
+		t.Errorf("empty vs empty: %d", got)
+	}
+	if got := strdist.Bounded(seq("x"), seq("y"), -1); got > -1+1 && got != 0 {
+		_ = got // negative τ returns >τ; just ensure no panic
+	}
+}
+
+func TestLevenshteinMetricQuick(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		sa, sb, sc := bytesToSeq(a), bytesToSeq(b), bytesToSeq(c)
+		dab := strdist.Levenshtein(sa, sb)
+		if dab != strdist.Levenshtein(sb, sa) {
+			return false
+		}
+		if strdist.Levenshtein(sa, sa) != 0 {
+			return false
+		}
+		return strdist.Levenshtein(sa, sc) <= dab+strdist.Levenshtein(sb, sc)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bytesToSeq(b []byte) []int32 {
+	out := make([]int32, 0, len(b))
+	for _, c := range b {
+		out = append(out, int32(c%5)) // small alphabet provokes matches
+	}
+	if len(out) > 24 {
+		out = out[:24]
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package synth
+
+import "treejoin/internal/tree"
+
+// Shape-matched stand-ins for the paper's real datasets (§4). Target
+// statistics, from the paper:
+//
+//	Swissprot: 100K trees, avg size 62.37, 84 labels, avg depth 2.65, max 4
+//	Treebank:   50K trees, avg size 45.12, 218 labels, avg depth 6.93, max 35
+//	Sentiment:  10K trees, avg size 37.31, 5 labels, avg depth 10.84, max 30
+//
+// The DepthBias / MaxFanout settings below are tuned so generated collections
+// land near those statistics (asserted by the profile tests). Cluster/Decay
+// plant near-duplicates standing in for the natural redundancy of the real
+// collections.
+
+// SwissprotParams returns the generator settings of the Swissprot profile:
+// flat, wide, medium-sized trees over a moderate alphabet.
+func SwissprotParams(n int, seed int64) Params {
+	return Params{
+		N: n, AvgSize: 62, SizeJitter: 0.25,
+		MaxFanout: 12, MaxDepth: 4, Labels: 84, LabelSkew: 1.4,
+		DepthBias: -0.2, Cluster: 4, Decay: 0.055, Moves: 0.35, Seed: seed,
+	}
+}
+
+// Swissprot generates n trees with the Swissprot profile.
+func Swissprot(n int, seed int64) []*tree.Tree { return Generate(SwissprotParams(n, seed)) }
+
+// TreebankParams returns the generator settings of the Treebank profile:
+// small, deep parse trees over a large alphabet.
+func TreebankParams(n int, seed int64) Params {
+	return Params{
+		N: n, AvgSize: 45, SizeJitter: 0.35,
+		MaxFanout: 4, MaxDepth: 35, Labels: 218, LabelSkew: 1.3,
+		DepthBias: 0.55, Cluster: 4, Decay: 0.055, Moves: 0.3, Seed: seed,
+	}
+}
+
+// Treebank generates n trees with the Treebank profile.
+func Treebank(n int, seed int64) []*tree.Tree { return Generate(TreebankParams(n, seed)) }
+
+// SentimentParams returns the generator settings of the Sentiment profile:
+// small, very deep, near-binary trees over a 5-label alphabet.
+func SentimentParams(n int, seed int64) Params {
+	return Params{
+		N: n, AvgSize: 37, SizeJitter: 0.3,
+		MaxFanout: 2, MaxDepth: 30, Labels: 5,
+		DepthBias: 0.82, Cluster: 4, Decay: 0.06, Moves: 0.3, Seed: seed,
+	}
+}
+
+// Sentiment generates n trees with the Sentiment profile.
+func Sentiment(n int, seed int64) []*tree.Tree { return Generate(SentimentParams(n, seed)) }
+
+// SyntheticParams returns the paper's synthetic dataset settings with the
+// Table 1 parameters exposed: maximum fanout f, maximum depth d, label count
+// l and average tree size t (defaults 3, 5, 20, 80).
+func SyntheticParams(n, fanout, depth, labels, size int, seed int64) Params {
+	return Params{
+		N: n, AvgSize: size, SizeJitter: 0.3,
+		MaxFanout: fanout, MaxDepth: depth, Labels: labels,
+		DepthBias: 0, Cluster: 4, Decay: 0.05, Seed: seed,
+	}
+}
+
+// Synthetic generates n trees with the default synthetic profile.
+func Synthetic(n int, seed int64) []*tree.Tree {
+	return Generate(SyntheticParams(n, 3, 5, 20, 80, seed))
+}

@@ -1,0 +1,303 @@
+// Package synth generates synthetic tree collections. It plays two roles:
+//
+//  1. It reimplements the paper's synthetic workload: the Zaki-style random
+//     tree generator parameterised by maximum fanout, maximum depth, label
+//     alphabet and average tree size, combined with the decay factor Dz of
+//     Yang et al. [27], under which generated trees are perturbed by random
+//     node edit operations.
+//  2. It provides shape-matched stand-ins for the paper's three real
+//     datasets (Swissprot, Treebank, Sentiment), whose XML dumps are not
+//     available offline. Each profile reproduces the published collection
+//     statistics — average size, label count, average and maximum depth — so
+//     the join methods face the same filter selectivities.
+//
+// Perturbed copies ("clusters") give the similarity join a non-trivial
+// result set, mirroring the near-duplicates present in the real collections.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treejoin/internal/tree"
+)
+
+// Params controls the generator. The zero value is not usable; start from
+// Defaults or a profile.
+type Params struct {
+	N          int     // number of trees to generate
+	AvgSize    int     // mean target tree size (nodes)
+	SizeJitter float64 // relative spread of the target size (uniform ±)
+	MaxFanout  int     // maximum children per node
+	MaxDepth   int     // maximum node depth (root = 0)
+	Labels     int     // alphabet size; labels are "l0".."l{Labels-1}"
+	LabelSkew  float64 // 0 = uniform; > 1 = Zipf exponent over the alphabet.
+	// Real markup vocabularies are heavily skewed (a handful of tags
+	// dominate), which is what makes bag-based filters like SET's binary
+	// branches weakly selective on the paper's datasets.
+	DepthBias float64 // in [-1, 1]: negative grows flat trees, positive deep
+	Cluster   int     // trees per seed tree (1 = all independent)
+	Decay     float64 // per-node probability of a random edit in a variant
+	Moves     float64 // fraction of perturbations that relocate a whole subtree
+	// instead of editing one node. Moves model the block reorderings common
+	// between near-duplicate XML documents: cheap for bag-based filters to
+	// miss, expensive in TED.
+	Seed int64 // RNG seed; equal Params give equal collections
+}
+
+// Defaults returns the paper's synthetic dataset parameters (§4: fanout 3,
+// maximum depth 5, 20 labels, tree size 80, Dz = 0.05, 10K trees).
+func Defaults() Params {
+	return Params{
+		N:          10000,
+		AvgSize:    80,
+		SizeJitter: 0.3,
+		MaxFanout:  3,
+		MaxDepth:   5,
+		Labels:     20,
+		DepthBias:  0,
+		Cluster:    4,
+		Decay:      0.05,
+		Seed:       1,
+	}
+}
+
+// Generate produces p.N trees sharing one label table (reachable through any
+// tree's Labels field).
+func Generate(p Params) []*tree.Tree {
+	if p.N < 0 {
+		panic("synth: negative N")
+	}
+	g := newGen(p)
+	out := make([]*tree.Tree, 0, p.N)
+	for len(out) < p.N {
+		seed := g.grow()
+		out = append(out, seed)
+		for v := 1; v < p.Cluster && len(out) < p.N; v++ {
+			out = append(out, g.perturb(seed))
+		}
+	}
+	return out
+}
+
+type gen struct {
+	p      Params
+	rng    *rand.Rand
+	labels *tree.LabelTable
+	ids    []int32    // interned label ids
+	zipf   *rand.Zipf // nil for uniform labels
+	// grow scratch
+	depth []int32
+	kids  []int32
+	open  []int32
+}
+
+func newGen(p Params) *gen {
+	if p.AvgSize < 1 || p.MaxFanout < 1 || p.MaxDepth < 0 || p.Labels < 1 {
+		panic(fmt.Sprintf("synth: invalid params %+v", p))
+	}
+	g := &gen{p: p, rng: rand.New(rand.NewSource(p.Seed)), labels: tree.NewLabelTable()}
+	g.ids = make([]int32, p.Labels)
+	for i := range g.ids {
+		g.ids[i] = g.labels.Intern(fmt.Sprintf("l%d", i))
+	}
+	if p.LabelSkew > 1 {
+		g.zipf = rand.NewZipf(g.rng, p.LabelSkew, 1, uint64(p.Labels-1))
+	}
+	return g
+}
+
+func (g *gen) randLabel() int32 {
+	if g.zipf != nil {
+		return g.ids[g.zipf.Uint64()]
+	}
+	return g.ids[g.rng.Intn(len(g.ids))]
+}
+
+// grow builds one random tree of roughly AvgSize nodes. Nodes are attached to
+// a random open node; DepthBias skews the choice between a shallower and a
+// deeper candidate, shaping flat (Swissprot-like) versus deep
+// (Sentiment-like) collections.
+func (g *gen) grow() *tree.Tree {
+	target := g.p.AvgSize
+	if g.p.SizeJitter > 0 {
+		span := float64(g.p.AvgSize) * g.p.SizeJitter
+		target = g.p.AvgSize + int((g.rng.Float64()*2-1)*span)
+	}
+	if target < 1 {
+		target = 1
+	}
+	b := tree.NewBuilder(g.labels)
+	b.RootID(g.randLabel())
+	g.depth = append(g.depth[:0], 0)
+	g.kids = append(g.kids[:0], 0)
+	g.open = g.open[:0]
+	if g.p.MaxDepth > 0 {
+		g.open = append(g.open, 0)
+	}
+	size := 1
+	for size < target && len(g.open) > 0 {
+		parent, ok := g.pickOpen()
+		if !ok {
+			break
+		}
+		id := b.ChildID(parent, g.randLabel())
+		size++
+		g.depth = append(g.depth, g.depth[parent]+1)
+		g.kids = append(g.kids, 0)
+		g.kids[parent]++
+		if int(g.depth[id]) < g.p.MaxDepth {
+			g.open = append(g.open, id)
+		}
+	}
+	return b.MustBuild()
+}
+
+// pickOpen selects an attachment point. With probability |DepthBias| it
+// attaches to the newest eligible node (bias > 0, which grows chains and
+// hence deep trees) or to the oldest eligible node (bias < 0, which fills
+// the shallow levels first and grows flat trees); otherwise it attaches to a
+// uniformly random open node.
+func (g *gen) pickOpen() (int32, bool) {
+	bias := g.p.DepthBias
+	if bias > 0 && g.rng.Float64() < bias {
+		if n, ok := g.scanEligible(true); ok {
+			return n, true
+		}
+	} else if bias < 0 && g.rng.Float64() < -bias {
+		if n, ok := g.scanEligible(false); ok {
+			return n, true
+		}
+	}
+	return g.popSaturated()
+}
+
+func (g *gen) eligible(n int32) bool {
+	return int(g.kids[n]) < g.p.MaxFanout && int(g.depth[n]) < g.p.MaxDepth
+}
+
+// scanEligible returns the newest (fromEnd) or oldest eligible open node.
+func (g *gen) scanEligible(fromEnd bool) (int32, bool) {
+	if fromEnd {
+		for i := len(g.open) - 1; i >= 0; i-- {
+			if g.eligible(g.open[i]) {
+				return g.open[i], true
+			}
+		}
+	} else {
+		for i := 0; i < len(g.open); i++ {
+			if g.eligible(g.open[i]) {
+				return g.open[i], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// popSaturated returns a random open node with spare capacity, evicting
+// saturated entries it stumbles on.
+func (g *gen) popSaturated() (int32, bool) {
+	for len(g.open) > 0 {
+		i := g.rng.Intn(len(g.open))
+		n := g.open[i]
+		if g.eligible(n) {
+			return n, true
+		}
+		g.open[i] = g.open[len(g.open)-1]
+		g.open = g.open[:len(g.open)-1]
+	}
+	return 0, false
+}
+
+// perturb applies the decay model: each node of t independently triggers a
+// random edit with probability Decay, and the chosen edits (rename, delete,
+// insert with equal probability, as in [27]) are applied sequentially.
+func (g *gen) perturb(t *tree.Tree) *tree.Tree {
+	edits := 0
+	for i := 0; i < t.Size(); i++ {
+		if g.rng.Float64() < g.p.Decay {
+			edits++
+		}
+	}
+	out := t
+	for e := 0; e < edits; e++ {
+		if g.p.Moves > 0 && g.rng.Float64() < g.p.Moves {
+			out = g.randomMove(out)
+		} else {
+			out = g.randomEdit(out)
+		}
+	}
+	return out
+}
+
+// randomMove relocates a random subtree to a random position elsewhere in
+// the tree; on degenerate shapes it falls back to a node edit.
+func (g *gen) randomMove(t *tree.Tree) *tree.Tree {
+	if t.Size() < 3 {
+		return g.randomEdit(t)
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		x := int32(1 + g.rng.Intn(t.Size()-1)) // not a guaranteed non-root id...
+		if t.Nodes[x].Parent == tree.None {
+			continue
+		}
+		target := int32(g.rng.Intn(t.Size()))
+		nc := 0
+		for c := t.Nodes[target].FirstChild; c != tree.None; c = t.Nodes[c].NextSibling {
+			if c != x {
+				nc++
+			}
+		}
+		out, err := tree.MoveSubtree(t, x, target, g.rng.Intn(nc+1))
+		if err == nil {
+			return out
+		}
+	}
+	return g.randomEdit(t)
+}
+
+// randomEdit applies one random node edit operation to t, returning a new
+// tree. If the sampled operation is inapplicable (e.g. deleting the root of a
+// multi-child tree) it falls back to a rename, so the edit count is
+// preserved.
+func (g *gen) randomEdit(t *tree.Tree) *tree.Tree {
+	n := int32(g.rng.Intn(t.Size()))
+	switch g.rng.Intn(3) {
+	case 0: // rename
+		return tree.Rename(t, n, g.labels.Name(g.randLabel()))
+	case 1: // delete
+		if t.Size() == 1 {
+			return tree.Rename(t, n, g.labels.Name(g.randLabel()))
+		}
+		if t.Nodes[n].Parent == tree.None {
+			if t.Nodes[n].FirstChild != tree.None && t.Nodes[t.Nodes[n].FirstChild].NextSibling == tree.None {
+				out, err := tree.Delete(t, n)
+				if err == nil {
+					return out
+				}
+			}
+			return tree.Rename(t, n, g.labels.Name(g.randLabel()))
+		}
+		out, err := tree.Delete(t, n)
+		if err != nil {
+			return tree.Rename(t, n, g.labels.Name(g.randLabel()))
+		}
+		return out
+	default: // insert under the sampled node, adopting a random child run
+		nc := len(t.Children(n))
+		at := 0
+		count := 0
+		if nc > 0 {
+			at = g.rng.Intn(nc + 1)
+			maxAdopt := nc - at
+			if maxAdopt > 0 {
+				count = g.rng.Intn(maxAdopt + 1)
+			}
+		}
+		out, err := tree.Insert(t, n, at, count, g.labels.Name(g.randLabel()))
+		if err != nil {
+			return tree.Rename(t, n, g.labels.Name(g.randLabel()))
+		}
+		return out
+	}
+}

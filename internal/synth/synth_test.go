@@ -1,0 +1,140 @@
+package synth_test
+
+import (
+	"testing"
+
+	"treejoin/internal/synth"
+	"treejoin/internal/tree"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	p := synth.Defaults()
+	p.N = 200
+	ts := synth.Generate(p)
+	if len(ts) != 200 {
+		t.Fatalf("generated %d trees", len(ts))
+	}
+	lt := ts[0].Labels
+	for i, tr := range ts {
+		if tr.Labels != lt {
+			t.Fatalf("tree %d uses a different label table", i)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("tree %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := synth.SyntheticParams(60, 3, 5, 20, 80, 42)
+	a := synth.Generate(p)
+	b := synth.Generate(p)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if !tree.Equal(a[i], b[i]) {
+			t.Fatalf("tree %d differs between runs with the same seed", i)
+		}
+	}
+	p2 := p
+	p2.Seed = 43
+	c := synth.Generate(p2)
+	same := 0
+	for i := range a {
+		if tree.Equal(a[i], c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical collections")
+	}
+}
+
+func TestGenerateRespectsConstraints(t *testing.T) {
+	p := synth.Params{
+		N: 150, AvgSize: 50, SizeJitter: 0.3, MaxFanout: 3, MaxDepth: 5,
+		Labels: 7, DepthBias: 0, Cluster: 1, Decay: 0, Seed: 3,
+	}
+	ts := synth.Generate(p)
+	s := tree.Measure(ts)
+	if s.MaxDepth > p.MaxDepth {
+		t.Errorf("max depth %d exceeds %d", s.MaxDepth, p.MaxDepth)
+	}
+	if s.MaxFanout > p.MaxFanout {
+		t.Errorf("max fanout %d exceeds %d", s.MaxFanout, p.MaxFanout)
+	}
+	if s.Labels > p.Labels {
+		t.Errorf("labels %d exceed %d", s.Labels, p.Labels)
+	}
+	if s.AvgSize < float64(p.AvgSize)*0.7 || s.AvgSize > float64(p.AvgSize)*1.3 {
+		t.Errorf("avg size %.1f far from target %d", s.AvgSize, p.AvgSize)
+	}
+}
+
+// TestGenerateConstraintsSurviveDecay: perturbed variants may drift slightly
+// (insertions can deepen a path), but structural validity must hold and the
+// perturbation must actually perturb.
+func TestGenerateConstraintsSurviveDecay(t *testing.T) {
+	p := synth.Defaults()
+	p.N = 120
+	ts := synth.Generate(p)
+	distinct := make(map[string]bool)
+	for _, tr := range ts {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		distinct[tree.FormatBracket(tr)] = true
+	}
+	if len(distinct) < len(ts)/3 {
+		t.Errorf("only %d distinct trees of %d: decay too weak", len(distinct), len(ts))
+	}
+	if len(distinct) == len(ts) {
+		t.Log("no exact duplicates generated (acceptable but unusual at Dz=0.05)")
+	}
+}
+
+// TestProfileStats: the dataset stand-ins land near the published statistics
+// of the collections they imitate (generous tolerances; the point is shape,
+// not decimals).
+func TestProfileStats(t *testing.T) {
+	type target struct {
+		name                   string
+		ts                     []*tree.Tree
+		avgSize                float64
+		maxDepth               int
+		avgDepthLo, avgDepthHi float64
+	}
+	n := 300
+	cases := []target{
+		{"swissprot", synth.Swissprot(n, 1), 62.37, 4, 1.8, 3.6},
+		{"treebank", synth.Treebank(n, 1), 45.12, 35, 4.9, 9.5},
+		{"sentiment", synth.Sentiment(n, 1), 37.31, 30, 7.5, 14.5},
+		{"synthetic", synth.Synthetic(n, 1), 80, 5, 2.5, 5.0},
+	}
+	for _, c := range cases {
+		s := tree.Measure(c.ts)
+		t.Logf("%s: avgSize=%.1f labels=%d avgDepth=%.2f maxDepth=%d maxFanout=%d",
+			c.name, s.AvgSize, s.Labels, s.AvgDepth, s.MaxDepth, s.MaxFanout)
+		if s.AvgSize < c.avgSize*0.72 || s.AvgSize > c.avgSize*1.28 {
+			t.Errorf("%s: avg size %.1f, target %.1f", c.name, s.AvgSize, c.avgSize)
+		}
+		if s.MaxDepth > c.maxDepth+5 { // decay edits and moves may deepen a little
+			t.Errorf("%s: max depth %d, target ≤ %d", c.name, s.MaxDepth, c.maxDepth)
+		}
+		if s.AvgDepth < c.avgDepthLo || s.AvgDepth > c.avgDepthHi {
+			t.Errorf("%s: avg depth %.2f outside [%.1f, %.1f]", c.name, s.AvgDepth, c.avgDepthLo, c.avgDepthHi)
+		}
+	}
+}
+
+func TestGenerateSmallN(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		p := synth.Defaults()
+		p.N = n
+		ts := synth.Generate(p)
+		if len(ts) != n {
+			t.Fatalf("N=%d produced %d trees", n, len(ts))
+		}
+	}
+}

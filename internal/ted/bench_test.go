@@ -1,0 +1,78 @@
+package ted_test
+
+import (
+	"fmt"
+	"testing"
+
+	"treejoin/internal/synth"
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// Micro-benchmarks of the TED substrate: the cubic verifier dominates every
+// join method's verification phase, so its constants matter for all of
+// Figures 10–14.
+
+func benchPair(profile string, size int) (*tree.Tree, *tree.Tree) {
+	var ts []*tree.Tree
+	switch profile {
+	case "flat":
+		ts = synth.Generate(synth.Params{
+			N: 2, AvgSize: size, MaxFanout: 12, MaxDepth: 4, Labels: 40,
+			DepthBias: -0.3, Cluster: 1, Seed: 7})
+	case "deep":
+		ts = synth.Generate(synth.Params{
+			N: 2, AvgSize: size, MaxFanout: 2, MaxDepth: 60, Labels: 5,
+			DepthBias: 0.8, Cluster: 1, Seed: 7})
+	default:
+		ts = synth.Generate(synth.Params{
+			N: 2, AvgSize: size, MaxFanout: 3, MaxDepth: 8, Labels: 20,
+			DepthBias: 0, Cluster: 1, Seed: 7})
+	}
+	return ts[0], ts[1]
+}
+
+func BenchmarkZhangShasha(b *testing.B) {
+	for _, profile := range []string{"flat", "deep", "mixed"} {
+		for _, size := range []int{32, 64, 128} {
+			t1, t2 := benchPair(profile, size)
+			b.Run(fmt.Sprintf("%s/n=%d", profile, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ted.ZhangShasha(t1, t2)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkHybridStrategyChoice(b *testing.B) {
+	// The hybrid should never be much slower than the better of the two
+	// fixed strategies; compare on a left-deep shape where they diverge.
+	t1, t2 := benchPair("deep", 96)
+	b.Run("left", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ted.ZhangShasha(t1, t2)
+		}
+	})
+	b.Run("right", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ted.ZhangShashaRight(t1, t2)
+		}
+	})
+	b.Run("hybrid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ted.Distance(t1, t2)
+		}
+	})
+}
+
+func BenchmarkDistanceBounded(b *testing.B) {
+	t1, t2 := benchPair("mixed", 80)
+	for _, tau := range []int{1, 5} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ted.DistanceBounded(t1, t2, tau)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package ted_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// TestUnitCostsMatchDistance: the generic DP under unit costs equals the
+// specialised implementation on random pairs.
+func TestUnitCostsMatchDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	lt := tree.NewLabelTable()
+	for i := 0; i < 200; i++ {
+		a := tinyRandomTree(rng, 25, 3, lt)
+		b := tinyRandomTree(rng, 25, 3, lt)
+		want := int64(ted.Distance(a, b))
+		if got := ted.DistanceCosts(a, b, ted.UnitCosts{}); got != want {
+			t.Fatalf("DistanceCosts(unit) = %d, Distance = %d\n%s\n%s",
+				got, want, tree.FormatBracket(a), tree.FormatBracket(b))
+		}
+	}
+}
+
+// TestScaledCostsScaleDistance: multiplying all unit costs by a constant
+// multiplies the distance by the same constant.
+func TestScaledCostsScaleDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	lt := tree.NewLabelTable()
+	scaled := ted.WeightedCosts{DeleteCost: 7, InsertCost: 7, RenameCost: 7}
+	for i := 0; i < 100; i++ {
+		a := tinyRandomTree(rng, 20, 3, lt)
+		b := tinyRandomTree(rng, 20, 3, lt)
+		unit := ted.DistanceCosts(a, b, ted.UnitCosts{})
+		if got := ted.DistanceCosts(a, b, scaled); got != 7*unit {
+			t.Fatalf("scaled distance %d != 7·%d", got, unit)
+		}
+	}
+}
+
+// TestExpensiveRenamePrefersDeleteInsert: when renaming costs more than
+// delete+insert, the DP must route label changes through delete+insert.
+func TestExpensiveRenamePrefersDeleteInsert(t *testing.T) {
+	lt := tree.NewLabelTable()
+	a := tree.MustParseBracket("{r{x}}", lt)
+	b := tree.MustParseBracket("{r{y}}", lt)
+	costly := ted.WeightedCosts{DeleteCost: 1, InsertCost: 1, RenameCost: 10}
+	if got := ted.DistanceCosts(a, b, costly); got != 2 { // delete x, insert y
+		t.Fatalf("distance = %d, want 2", got)
+	}
+	cheap := ted.WeightedCosts{DeleteCost: 10, InsertCost: 10, RenameCost: 1}
+	if got := ted.DistanceCosts(a, b, cheap); got != 1 {
+		t.Fatalf("distance = %d, want 1", got)
+	}
+}
+
+// TestPerLabelCosts: a custom model charging by label id.
+type perLabel struct{ lt *tree.LabelTable }
+
+func (p perLabel) Delete(l int32) int32 { return 1 + l%3 }
+func (p perLabel) Insert(l int32) int32 { return 1 + l%3 }
+func (p perLabel) Rename(from, to int32) int32 {
+	if from == to {
+		return 0
+	}
+	return 2
+}
+
+func TestPerLabelCostsMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(227))
+	lt := tree.NewLabelTable()
+	costs := perLabel{lt}
+	trees := make([]*tree.Tree, 8)
+	for i := range trees {
+		trees[i] = tinyRandomTree(rng, 15, 3, lt)
+	}
+	for _, a := range trees {
+		if d := ted.DistanceCosts(a, a, costs); d != 0 {
+			t.Fatalf("d(a,a) = %d", d)
+		}
+		for _, b := range trees {
+			dab := ted.DistanceCosts(a, b, costs)
+			if dab != ted.DistanceCosts(b, a, costs) {
+				t.Fatal("asymmetric under symmetric costs")
+			}
+			for _, c := range trees {
+				if ted.DistanceCosts(a, c, costs) > dab+ted.DistanceCosts(b, c, costs) {
+					t.Fatal("triangle inequality violated")
+				}
+			}
+		}
+	}
+}
+
+// TestCostsIdentityAndEmptyTransforms: transforming into a single-node tree
+// costs the deletions of everything else plus the final rename.
+func TestCostsIdentityAndEmptyTransforms(t *testing.T) {
+	lt := tree.NewLabelTable()
+	a := tree.MustParseBracket("{a{b}{c}{d}}", lt)
+	b := tree.MustParseBracket("{a}", lt)
+	w := ted.WeightedCosts{DeleteCost: 3, InsertCost: 5, RenameCost: 2}
+	if got := ted.DistanceCosts(a, b, w); got != 9 { // delete b, c, d
+		t.Fatalf("distance = %d, want 9", got)
+	}
+	if got := ted.DistanceCosts(b, a, w); got != 15 { // insert b, c, d
+		t.Fatalf("distance = %d, want 15", got)
+	}
+}

@@ -1,0 +1,160 @@
+package ted
+
+import "treejoin/internal/tree"
+
+// Edit mapping extraction: besides the distance value, recover an optimal
+// edit mapping (Tai mapping) between two trees by backtracking through the
+// Zhang–Shasha dynamic program, and derive the corresponding edit script.
+// This turns the library into a structural diff tool for trees — the
+// operational counterpart of the join's distance predicate.
+
+// MapPair records that node N1 of the first tree corresponds to node N2 of
+// the second tree in an optimal mapping (node ids, not postorder indices).
+type MapPair struct {
+	N1, N2 int32
+}
+
+// OpKind classifies one edit script operation.
+type OpKind int
+
+const (
+	// OpDelete removes Node1 from the first tree.
+	OpDelete OpKind = iota
+	// OpInsert adds Node2 of the second tree.
+	OpInsert
+	// OpRename relabels Node1 (first tree) to Node2's label (second tree).
+	OpRename
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpDelete:
+		return "delete"
+	case OpInsert:
+		return "insert"
+	case OpRename:
+		return "rename"
+	default:
+		return "op?"
+	}
+}
+
+// EditOp is one operation of an optimal edit script. Node1 refers to a node
+// of the first tree (OpDelete, OpRename), Node2 to a node of the second tree
+// (OpInsert, OpRename); the unused field is tree.None.
+type EditOp struct {
+	Kind  OpKind
+	Node1 int32
+	Node2 int32
+}
+
+// Mapping returns TED(t1, t2) together with an optimal edit mapping: a
+// one-to-one, order- and ancestor-preserving correspondence between a subset
+// of t1's nodes and a subset of t2's nodes whose cost (unmapped t1 nodes +
+// unmapped t2 nodes + mapped pairs with differing labels) is the distance.
+// Pairs are reported in ascending postorder of the first tree.
+func Mapping(t1, t2 *tree.Tree) (int, []MapPair) {
+	a, b := prepare(t1), prepare(t2)
+	n1, n2 := len(a.labels), len(b.labels)
+	td := computeTreeDists(a, b)
+	fd := make([]int32, (n1+1)*(n2+1))
+	w := n2 + 1
+
+	var pairs []MapPair
+	type sub struct{ i, j int32 }
+	stack := []sub{{int32(n1 - 1), int32(n2 - 1)}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		i, j := s.i, s.j
+		li, lj := a.lml[i], b.lml[j]
+		forestDP(a, b, i, j, td, fd, false)
+		di, dj := int(i-li)+1, int(j-lj)+1
+		for di > 0 || dj > 0 {
+			cur := fd[di*w+dj]
+			switch {
+			case di > 0 && fd[(di-1)*w+dj]+1 == cur:
+				di-- // delete a's node
+			case dj > 0 && fd[di*w+dj-1]+1 == cur:
+				dj-- // insert b's node
+			default:
+				ai := li + int32(di) - 1
+				bj := lj + int32(dj) - 1
+				if a.lml[ai] == li && b.lml[bj] == lj {
+					// Tree-tree diagonal: ai corresponds to bj.
+					pairs = append(pairs, MapPair{N1: a.nodes[ai], N2: b.nodes[bj]})
+					di--
+					dj--
+				} else {
+					// Subtree-pair jump: solve (ai, bj) separately and skip
+					// both subtrees in this forest.
+					stack = append(stack, sub{ai, bj})
+					di = int(a.lml[ai] - li)
+					dj = int(b.lml[bj] - lj)
+				}
+			}
+		}
+	}
+	// Backtracking emits pairs right-to-left per forest; sort by t1
+	// postorder for a stable, human-friendly order.
+	sortPairsByPostorder(pairs, a)
+	return int(td[(n1-1)*n2+(n2-1)]), pairs
+}
+
+func sortPairsByPostorder(pairs []MapPair, a *prep) {
+	rank := make(map[int32]int32, len(a.nodes))
+	for i, n := range a.nodes {
+		rank[n] = int32(i)
+	}
+	// Insertion sort: mappings are small relative to DP cost, and mostly
+	// ordered already.
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && rank[pairs[j].N1] < rank[pairs[j-1].N1]; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+// EditScript returns TED(t1, t2) and an optimal edit script derived from an
+// optimal mapping: a delete per unmapped t1 node, an insert per unmapped t2
+// node, and a rename per mapped pair with differing labels. The script
+// length equals the distance. Operations are ordered deletes (descending t1
+// postorder), then renames, then inserts (ascending t2 postorder) — an order
+// in which they can be applied.
+func EditScript(t1, t2 *tree.Tree) (int, []EditOp) {
+	dist, pairs := Mapping(t1, t2)
+	mapped1 := make([]bool, t1.Size())
+	mapped2 := make([]bool, t2.Size())
+	var renames []EditOp
+	for _, p := range pairs {
+		mapped1[p.N1] = true
+		mapped2[p.N2] = true
+		if t1.Nodes[p.N1].Label != t2.Nodes[p.N2].Label {
+			renames = append(renames, EditOp{Kind: OpRename, Node1: p.N1, Node2: p.N2})
+		}
+	}
+	var script []EditOp
+	// Deletes bottom-up (descending postorder of t1) so each delete applies
+	// to a present node.
+	for _, n := range reversePostorder(t1) {
+		if !mapped1[n] {
+			script = append(script, EditOp{Kind: OpDelete, Node1: n, Node2: tree.None})
+		}
+	}
+	script = append(script, renames...)
+	for _, n := range tree.Postorder(t2) {
+		if !mapped2[n] {
+			script = append(script, EditOp{Kind: OpInsert, Node1: tree.None, Node2: n})
+		}
+	}
+	return dist, script
+}
+
+func reversePostorder(t *tree.Tree) []int32 {
+	post := tree.Postorder(t)
+	out := make([]int32, len(post))
+	for i, n := range post {
+		out[len(post)-1-i] = n
+	}
+	return out
+}

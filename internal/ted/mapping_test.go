@@ -1,0 +1,195 @@
+package ted_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// mappingValid checks the Tai mapping conditions: one-to-one, postorder-
+// preserving, ancestor-preserving.
+func mappingValid(t *testing.T, t1, t2 *tree.Tree, pairs []ted.MapPair) {
+	t.Helper()
+	rank := func(tr *tree.Tree) map[int32]int {
+		m := make(map[int32]int)
+		for i, n := range tree.Postorder(tr) {
+			m[n] = i
+		}
+		return m
+	}
+	r1, r2 := rank(t1), rank(t2)
+	anc := func(tr *tree.Tree, a, b int32) bool { // a proper ancestor of b
+		for p := tr.Nodes[b].Parent; p != tree.None; p = tr.Nodes[p].Parent {
+			if p == a {
+				return true
+			}
+		}
+		return false
+	}
+	seen1 := map[int32]bool{}
+	seen2 := map[int32]bool{}
+	for _, p := range pairs {
+		if seen1[p.N1] || seen2[p.N2] {
+			t.Fatalf("mapping not one-to-one at %v", p)
+		}
+		seen1[p.N1] = true
+		seen2[p.N2] = true
+	}
+	for i := 0; i < len(pairs); i++ {
+		for j := i + 1; j < len(pairs); j++ {
+			a, b := pairs[i], pairs[j]
+			if (r1[a.N1] < r1[b.N1]) != (r2[a.N2] < r2[b.N2]) {
+				t.Fatalf("mapping violates postorder: %v %v", a, b)
+			}
+			if anc(t1, a.N1, b.N1) != anc(t2, a.N2, b.N2) {
+				t.Fatalf("mapping violates ancestry: %v %v", a, b)
+			}
+			if anc(t1, b.N1, a.N1) != anc(t2, b.N2, a.N2) {
+				t.Fatalf("mapping violates ancestry: %v %v", b, a)
+			}
+		}
+	}
+}
+
+// mappingCost recomputes the cost of a mapping from first principles.
+func mappingCost(t1, t2 *tree.Tree, pairs []ted.MapPair) int {
+	renames := 0
+	for _, p := range pairs {
+		if t1.Nodes[p.N1].Label != t2.Nodes[p.N2].Label {
+			renames++
+		}
+	}
+	return (t1.Size() - len(pairs)) + (t2.Size() - len(pairs)) + renames
+}
+
+func TestMappingFigure3(t *testing.T) {
+	lt := tree.NewLabelTable()
+	t1 := tree.MustParseBracket("{l1{l2}{l1{l3}}}", lt)
+	t2 := tree.MustParseBracket("{l1{l2{l1}{l3}}}", lt)
+	dist, pairs := ted.Mapping(t1, t2)
+	if dist != 3 {
+		t.Fatalf("dist = %d", dist)
+	}
+	mappingValid(t, t1, t2, pairs)
+	if got := mappingCost(t1, t2, pairs); got != dist {
+		t.Fatalf("mapping cost %d != distance %d", got, dist)
+	}
+}
+
+func TestMappingIdentity(t *testing.T) {
+	lt := tree.NewLabelTable()
+	a := tree.MustParseBracket("{a{b{c}{d}}{e}}", lt)
+	dist, pairs := ted.Mapping(a, a)
+	if dist != 0 {
+		t.Fatalf("dist = %d", dist)
+	}
+	if len(pairs) != a.Size() {
+		t.Fatalf("identity mapping has %d pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.N1 != p.N2 {
+			t.Fatalf("identity mapping pairs %v", p)
+		}
+	}
+}
+
+// TestMappingRandom: on random pairs the extracted mapping is valid, its
+// recomputed cost equals the DP distance, and the distance matches
+// ZhangShasha.
+func TestMappingRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	lt := tree.NewLabelTable()
+	iters := 300
+	if testing.Short() {
+		iters = 80
+	}
+	for i := 0; i < iters; i++ {
+		a := tinyRandomTree(rng, 25, 3, lt)
+		b := tinyRandomTree(rng, 25, 3, lt)
+		want := ted.ZhangShasha(a, b)
+		dist, pairs := ted.Mapping(a, b)
+		if dist != want {
+			t.Fatalf("Mapping dist %d != ZS %d", dist, want)
+		}
+		mappingValid(t, a, b, pairs)
+		if got := mappingCost(a, b, pairs); got != dist {
+			t.Fatalf("mapping cost %d != distance %d\n%s\n%s",
+				got, dist, tree.FormatBracket(a), tree.FormatBracket(b))
+		}
+	}
+}
+
+// TestEditScriptLengthEqualsDistance: the derived script has exactly
+// distance-many operations, with deletes ordered bottom-up.
+func TestEditScriptLengthEqualsDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	lt := tree.NewLabelTable()
+	for i := 0; i < 200; i++ {
+		a := tinyRandomTree(rng, 20, 3, lt)
+		b := tinyRandomTree(rng, 20, 3, lt)
+		dist, script := ted.EditScript(a, b)
+		if len(script) != dist {
+			t.Fatalf("script length %d != distance %d", len(script), dist)
+		}
+		var dels, inss, rens int
+		lastDelRank := 1 << 30
+		rank := map[int32]int{}
+		for idx, n := range tree.Postorder(a) {
+			rank[n] = idx
+		}
+		for _, op := range script {
+			switch op.Kind {
+			case ted.OpDelete:
+				dels++
+				if rank[op.Node1] > lastDelRank {
+					t.Fatal("deletes not bottom-up")
+				}
+				lastDelRank = rank[op.Node1]
+				if op.Node2 != tree.None {
+					t.Fatal("delete carries a t2 node")
+				}
+			case ted.OpInsert:
+				inss++
+				if op.Node1 != tree.None {
+					t.Fatal("insert carries a t1 node")
+				}
+			case ted.OpRename:
+				rens++
+				if a.Nodes[op.Node1].Label == b.Nodes[op.Node2].Label {
+					t.Fatal("rename with identical labels")
+				}
+			}
+		}
+		if a.Size()-dels+inss != b.Size() {
+			t.Fatalf("size bookkeeping wrong: %d - %d + %d != %d", a.Size(), dels, inss, b.Size())
+		}
+	}
+}
+
+func TestEditScriptOnEditedTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	lt := tree.NewLabelTable()
+	for i := 0; i < 100; i++ {
+		a := tinyRandomTree(rng, 25, 4, lt)
+		b := a
+		k := rng.Intn(4)
+		for e := 0; e < k; e++ {
+			b = randomEditOp(rng, b, lt)
+		}
+		dist, script := ted.EditScript(a, b)
+		if dist > k {
+			t.Fatalf("script dist %d exceeds %d edits", dist, k)
+		}
+		if len(script) != dist {
+			t.Fatalf("script length %d != dist %d", len(script), dist)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if ted.OpDelete.String() != "delete" || ted.OpInsert.String() != "insert" || ted.OpRename.String() != "rename" {
+		t.Fatal("OpKind strings wrong")
+	}
+}

@@ -1,0 +1,120 @@
+package ted_test
+
+import (
+	"math/rand"
+
+	"treejoin/internal/tree"
+)
+
+// This file implements an exhaustive tree-edit-distance oracle used to
+// validate the DP algorithms on tiny trees: it enumerates every valid edit
+// mapping (one-to-one, postorder-preserving, ancestor-preserving — Tai's
+// definition) and returns the cheapest. Exponential, so callers keep trees at
+// ≤ ~7 nodes.
+
+type oracleTree struct {
+	labels []int32
+	lml    []int // postorder index of leftmost leaf of the subtree at i
+}
+
+func oraclePrep(t *tree.Tree) *oracleTree {
+	post := tree.Postorder(t)
+	rank := make([]int32, t.Size())
+	for i, v := range post {
+		rank[v] = int32(i)
+	}
+	o := &oracleTree{labels: make([]int32, len(post)), lml: make([]int, len(post))}
+	for i, v := range post {
+		o.labels[i] = t.Nodes[v].Label
+		u := v
+		for t.Nodes[u].FirstChild != tree.None {
+			u = t.Nodes[u].FirstChild
+		}
+		o.lml[i] = int(rank[u])
+	}
+	return o
+}
+
+// isAncestor reports whether postorder index a is a (proper) ancestor of b:
+// in postorder, exactly when lml(a) ≤ b < a.
+func (o *oracleTree) isAncestor(a, b int) bool {
+	return o.lml[a] <= b && b < a
+}
+
+// exhaustiveTED enumerates mappings by deciding, for each node of t1 in
+// postorder, whether it is deleted or mapped to a (valid) node of t2.
+func exhaustiveTED(t1, t2 *tree.Tree) int {
+	o1, o2 := oraclePrep(t1), oraclePrep(t2)
+	n1, n2 := len(o1.labels), len(o2.labels)
+	used := make([]bool, n2)
+	var m1, m2 []int // mapped pairs so far
+	best := n1 + n2  // delete everything, insert everything
+
+	var rec func(i, mapped, renames int)
+	rec = func(i, mapped, renames int) {
+		// Lower bound on final cost from here: deletions of unmapped t1
+		// nodes so far + renames; even mapping everything remaining can't
+		// beat best if this already exceeds it.
+		costSoFar := (i - mapped) + renames
+		if costSoFar >= best {
+			return
+		}
+		if i == n1 {
+			total := (n1 - mapped) + (n2 - mapped) + renames
+			if total < best {
+				best = total
+			}
+			return
+		}
+		// Option 1: delete node i.
+		rec(i+1, mapped, renames)
+		// Option 2: map node i to each valid j.
+		for j := 0; j < n2; j++ {
+			if used[j] {
+				continue
+			}
+			ok := true
+			for k := range m1 {
+				// m1[k] < i in postorder; require m2[k] < j and matching
+				// ancestor relations.
+				if m2[k] >= j {
+					ok = false
+					break
+				}
+				if o1.isAncestor(i, m1[k]) != o2.isAncestor(j, m2[k]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			r := renames
+			if o1.labels[i] != o2.labels[j] {
+				r++
+			}
+			used[j] = true
+			m1 = append(m1, i)
+			m2 = append(m2, j)
+			rec(i+1, mapped+1, r)
+			m1 = m1[:len(m1)-1]
+			m2 = m2[:len(m2)-1]
+			used[j] = false
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+// tinyRandomTree returns a random tree of at most maxN nodes over a small
+// alphabet (shared table required for TED).
+func tinyRandomTree(rng *rand.Rand, maxN, alphabet int, lt *tree.LabelTable) *tree.Tree {
+	n := 1 + rng.Intn(maxN)
+	b := tree.NewBuilder(lt)
+	lab := func() string { return string(rune('a' + rng.Intn(alphabet))) }
+	b.Root(lab())
+	for i := 1; i < n; i++ {
+		b.Child(int32(rng.Intn(i)), lab())
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,165 @@
+package ted
+
+import (
+	"fmt"
+
+	"treejoin/internal/tree"
+)
+
+// Transform materialises an optimal edit script as a sequence of trees: it
+// returns TED(t1, t2)+1 trees starting at t1 and ending at t2, where each
+// consecutive pair differs by exactly one node edit operation (one delete,
+// rename, or insert). It is the "playback" of EditScript — useful for
+// animating structural diffs, and doubling as a whole-chain correctness
+// oracle: the sequence exists if and only if the mapping really is
+// order- and ancestor-preserving with cost equal to the distance.
+//
+// Construction: from an optimal mapping, the unmapped t1 nodes are removed
+// one at a time in postorder (children before parents, so the induced tree
+// stays rooted), then mapped nodes are renamed one at a time, then the
+// unmapped t2 nodes are added in reverse postorder (parents before
+// children). Every intermediate is the subtree of t1 (resp. t2) induced by
+// the surviving (resp. already-present) node set, so the intermediates are
+// valid trees by construction; the rename phase pivots on the fact that the
+// two induced subtrees are order-isomorphic, which Transform verifies.
+func Transform(t1, t2 *tree.Tree) ([]*tree.Tree, error) {
+	dist, pairs := Mapping(t1, t2)
+	out := make([]*tree.Tree, 0, dist+1)
+	out = append(out, t1)
+
+	mapped1 := make([]bool, t1.Size())
+	mapped2 := make([]bool, t2.Size())
+	target := make(map[int32]int32, len(pairs)) // t1 node -> t2 label
+	for _, p := range pairs {
+		mapped1[p.N1] = true
+		mapped2[p.N2] = true
+		target[p.N1] = t2.Nodes[p.N2].Label
+	}
+
+	// Delete phase: drop unmapped t1 nodes bottom-up.
+	kept := make([]bool, t1.Size())
+	for i := range kept {
+		kept[i] = true
+	}
+	for _, n := range tree.Postorder(t1) {
+		if mapped1[n] {
+			continue
+		}
+		kept[n] = false
+		w, err := induced(t1, kept, nil)
+		if err != nil {
+			return nil, fmt.Errorf("ted: delete phase: %w", err)
+		}
+		out = append(out, w)
+	}
+
+	// Rename phase: relabel mapped nodes one at a time (postorder, for
+	// determinism).
+	overrides := make(map[int32]int32)
+	for _, n := range tree.Postorder(t1) {
+		if !mapped1[n] || target[n] == t1.Nodes[n].Label {
+			continue
+		}
+		overrides[n] = target[n]
+		w, err := induced(t1, kept, overrides)
+		if err != nil {
+			return nil, fmt.Errorf("ted: rename phase: %w", err)
+		}
+		out = append(out, w)
+	}
+
+	// Pivot check: the fully deleted and renamed t1 must coincide with t2
+	// restricted to its mapped nodes.
+	kept2 := make([]bool, t2.Size())
+	for i := range kept2 {
+		kept2[i] = mapped2[i]
+	}
+	pivot2, err := induced(t2, kept2, nil)
+	if err != nil {
+		return nil, fmt.Errorf("ted: pivot: %w", err)
+	}
+	if !tree.Equal(out[len(out)-1], pivot2) {
+		return nil, fmt.Errorf("ted: mapping is not order-isomorphic on the mapped node sets")
+	}
+
+	// Insert phase: add unmapped t2 nodes top-down (reverse postorder).
+	post2 := tree.Postorder(t2)
+	for i := len(post2) - 1; i >= 0; i-- {
+		n := post2[i]
+		if mapped2[n] {
+			continue
+		}
+		kept2[n] = true
+		w, err := induced(t2, kept2, nil)
+		if err != nil {
+			return nil, fmt.Errorf("ted: insert phase: %w", err)
+		}
+		out = append(out, w)
+	}
+
+	if len(out) != dist+1 {
+		return nil, fmt.Errorf("ted: script has %d steps for distance %d", len(out)-1, dist)
+	}
+	return out, nil
+}
+
+// induced builds the subtree of t induced by the kept nodes: each kept node
+// attaches to its nearest kept proper ancestor, preserving document order;
+// labels come from overrides when present. Exactly one kept node may lack a
+// kept ancestor (the induced root).
+func induced(t *tree.Tree, kept []bool, overrides map[int32]int32) (*tree.Tree, error) {
+	label := func(n int32) int32 {
+		if l, ok := overrides[n]; ok {
+			return l
+		}
+		return t.Nodes[n].Label
+	}
+	b := tree.NewBuilder(t.Labels)
+	var rootID int32 = tree.None
+	// Iterative preorder; attach[n] is the builder id of the nearest kept
+	// ancestor at the time n is visited.
+	type frame struct {
+		node   int32
+		parent int32 // builder id of nearest kept ancestor, or None
+	}
+	var stack []frame
+	push := func(n, parent int32) {
+		// Children pushed right-to-left so the leftmost pops first.
+		var cs []int32
+		for c := t.Nodes[n].FirstChild; c != tree.None; c = t.Nodes[c].NextSibling {
+			cs = append(cs, c)
+		}
+		for i := len(cs) - 1; i >= 0; i-- {
+			stack = append(stack, frame{cs[i], parent})
+		}
+	}
+	root := t.Root()
+	if kept[root] {
+		rootID = b.RootID(label(root))
+		push(root, rootID)
+	} else {
+		push(root, tree.None)
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !kept[f.node] {
+			push(f.node, f.parent)
+			continue
+		}
+		if f.parent == tree.None {
+			if rootID != tree.None {
+				return nil, fmt.Errorf("induced subgraph is a forest (second root at node %d)", f.node)
+			}
+			rootID = b.RootID(label(f.node))
+			push(f.node, rootID)
+			continue
+		}
+		id := b.ChildID(f.parent, label(f.node))
+		push(f.node, id)
+	}
+	if rootID == tree.None {
+		return nil, fmt.Errorf("induced subgraph is empty")
+	}
+	return b.Build()
+}

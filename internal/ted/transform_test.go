@@ -1,0 +1,129 @@
+package ted_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// TestTransformHandCases walks the morph on pinned pairs.
+func TestTransformHandCases(t *testing.T) {
+	lt := tree.NewLabelTable()
+	cases := []struct{ a, b string }{
+		{"{a}", "{a}"},
+		{"{a}", "{b}"},
+		{"{a{b}}", "{a}"},
+		{"{a}", "{a{b}}"},
+		{"{a{b}{c}}", "{a{c}{b}}"},
+		{"{a{b{c}{d}}}", "{a{c}{d}}"},
+		{"{r{a}{b}}", "{s{a}{b}}"},
+		{"{a{b}}", "{c{a{b}}}"},                  // new root inserted above
+		{"{c{a{b}}}", "{a{b}}"},                  // root deleted
+		{"{l1{l2}{l1{l3}}}", "{l1{l2{l1}{l3}}}"}, // the paper's Figure 3 pair
+	}
+	for _, c := range cases {
+		a := tree.MustParseBracket(c.a, lt)
+		b := tree.MustParseBracket(c.b, lt)
+		steps, err := ted.Transform(a, b)
+		if err != nil {
+			t.Errorf("Transform(%s, %s): %v", c.a, c.b, err)
+			continue
+		}
+		checkTransform(t, a, b, steps)
+	}
+}
+
+// checkTransform asserts the morph contract: dist+1 trees, endpoints equal
+// a and b, every consecutive pair at TED exactly 1.
+func checkTransform(t *testing.T, a, b *tree.Tree, steps []*tree.Tree) {
+	t.Helper()
+	dist := ted.Distance(a, b)
+	if len(steps) != dist+1 {
+		t.Fatalf("%d steps for distance %d (%s -> %s)",
+			len(steps)-1, dist, tree.FormatBracket(a), tree.FormatBracket(b))
+	}
+	if !tree.Equal(steps[0], a) {
+		t.Fatalf("first step is not the source")
+	}
+	if !tree.Equal(steps[len(steps)-1], b) {
+		t.Fatalf("last step %s is not the target %s",
+			tree.FormatBracket(steps[len(steps)-1]), tree.FormatBracket(b))
+	}
+	for i := 1; i < len(steps); i++ {
+		if err := steps[i].Validate(); err != nil {
+			t.Fatalf("step %d invalid: %v", i, err)
+		}
+		if d := ted.Distance(steps[i-1], steps[i]); d != 1 {
+			t.Fatalf("steps %d -> %d have distance %d, want 1:\n%s\n%s",
+				i-1, i, d, tree.FormatBracket(steps[i-1]), tree.FormatBracket(steps[i]))
+		}
+	}
+}
+
+// TestTransformRandom: the morph contract holds on random pairs — the
+// whole-chain oracle for Mapping/EditScript.
+func TestTransformRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	lt := tree.NewLabelTable()
+	for i := 0; i < 200; i++ {
+		a := randTree(rng, lt, 1+rng.Intn(14), 4)
+		b := randTree(rng, lt, 1+rng.Intn(14), 4)
+		steps, err := ted.Transform(a, b)
+		if err != nil {
+			t.Fatalf("Transform: %v\n%s\n%s", err, tree.FormatBracket(a), tree.FormatBracket(b))
+		}
+		checkTransform(t, a, b, steps)
+	}
+}
+
+// TestTransformNearPairs: pairs a few edits apart exercise the phases in
+// isolation (pure renames, pure deletes, mixed).
+func TestTransformNearPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	lt := tree.NewLabelTable()
+	for i := 0; i < 100; i++ {
+		a := randTree(rng, lt, 8+rng.Intn(12), 4)
+		b := a
+		for e := 0; e < rng.Intn(4); e++ {
+			b = mutate(rng, b)
+		}
+		steps, err := ted.Transform(a, b)
+		if err != nil {
+			t.Fatalf("Transform: %v", err)
+		}
+		checkTransform(t, a, b, steps)
+	}
+}
+
+// mutate applies one random node edit operation.
+func mutate(rng *rand.Rand, t *tree.Tree) *tree.Tree {
+	switch rng.Intn(3) {
+	case 0:
+		return tree.Rename(t, int32(rng.Intn(t.Size())), string(rune('a'+rng.Intn(5))))
+	case 1:
+		n := int32(rng.Intn(t.Size()))
+		out, err := tree.Delete(t, n)
+		if err != nil {
+			return tree.Rename(t, n, "z")
+		}
+		return out
+	default:
+		p := int32(rng.Intn(t.Size()))
+		nc := len(t.Children(p))
+		at := 0
+		if nc > 0 {
+			at = rng.Intn(nc + 1)
+		}
+		count := 0
+		if nc-at > 0 {
+			count = rng.Intn(nc - at + 1)
+		}
+		out, err := tree.Insert(t, p, at, count, string(rune('a'+rng.Intn(5))))
+		if err != nil {
+			return t
+		}
+		return out
+	}
+}

@@ -1,0 +1,127 @@
+package tree
+
+import "sort"
+
+// Canonicalize returns a copy of t with every sibling group sorted into a
+// canonical order. The order is computed with the AHU tree-canonisation
+// scheme: nodes are processed by increasing subtree height, each node's
+// signature is its label plus the sorted codes of its children, and the
+// distinct signatures at each height are ranked to produce dense codes.
+// Codes therefore depend only on the (unordered) subtree structure, so the
+// canonical form is invariant under any permutation of siblings — two trees
+// are equal as *unordered* trees exactly when their canonical forms are
+// equal as ordered trees. Canonicalising first lets the ordered-tree
+// machinery — joins, search, TED — operate on data where sibling order
+// carries no meaning (attribute lists, data-centric XML, sets of records).
+//
+// Note the semantics for distances: TED between canonical forms is a
+// practical approximation of the unordered edit distance, not the distance
+// itself (exact unordered TED is MAX SNP-hard). It is exact at distance 0;
+// for small perturbations of unordered data it is the standard
+// near-duplicate detection choice.
+func Canonicalize(t *Tree) *Tree {
+	// Rank the labels appearing in t by their string, so the canonical order
+	// is independent of label-table interning order (siblings with distinct
+	// labels sort alphabetically).
+	used := make(map[int32]struct{})
+	for i := range t.Nodes {
+		used[t.Nodes[i].Label] = struct{}{}
+	}
+	ids := make([]int32, 0, len(used))
+	for id := range used {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return t.Labels.Name(ids[a]) < t.Labels.Name(ids[b]) })
+	labelRank := make(map[int32]int64, len(ids))
+	for r, id := range ids {
+		labelRank[id] = int64(r)
+	}
+
+	heights := make([]int32, t.Size())
+	post := Postorder(t)
+	maxH := int32(0)
+	for _, n := range post {
+		var h int32
+		for c := t.Nodes[n].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+			if heights[c]+1 > h {
+				h = heights[c] + 1
+			}
+		}
+		heights[n] = h
+		if h > maxH {
+			maxH = h
+		}
+	}
+	byHeight := make([][]int32, maxH+1)
+	for _, n := range post {
+		byHeight[heights[n]] = append(byHeight[heights[n]], n)
+	}
+
+	// code[n] orders the subtree rooted at n among all subtrees: primary key
+	// height, secondary the rank of its signature within that height.
+	code := make([]int64, t.Size())
+	ordered := make([][]int32, t.Size()) // children in canonical order
+	type sig struct {
+		node int32
+		key  []int64 // label then sorted child codes
+	}
+	less := func(a, b []int64) bool {
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return len(a) < len(b)
+	}
+	equal := func(a, b []int64) bool { return !less(a, b) && !less(b, a) }
+	for h := int32(0); h <= maxH; h++ {
+		sigs := make([]sig, 0, len(byHeight[h]))
+		for _, n := range byHeight[h] {
+			var cs []int32
+			for c := t.Nodes[n].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+				cs = append(cs, c)
+			}
+			sort.SliceStable(cs, func(a, b int) bool { return code[cs[a]] < code[cs[b]] })
+			ordered[n] = cs
+			key := make([]int64, 0, len(cs)+1)
+			key = append(key, labelRank[t.Nodes[n].Label])
+			for _, c := range cs {
+				key = append(key, code[c])
+			}
+			sigs = append(sigs, sig{node: n, key: key})
+		}
+		sort.Slice(sigs, func(a, b int) bool { return less(sigs[a].key, sigs[b].key) })
+		rank := int64(0)
+		for i, s := range sigs {
+			if i > 0 && !equal(sigs[i-1].key, s.key) {
+				rank++
+			}
+			code[s.node] = int64(h)<<32 | rank
+		}
+	}
+
+	// Rebuild in canonical order.
+	b := NewBuilder(t.Labels)
+	root := b.RootID(t.Nodes[t.Root()].Label)
+	type frame struct{ src, dst int32 }
+	stack := []frame{{t.Root(), root}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range ordered[f.src] {
+			id := b.ChildID(f.dst, t.Nodes[c].Label)
+			stack = append(stack, frame{c, id})
+		}
+	}
+	return b.MustBuild()
+}
+
+// EqualUnordered reports whether a and b are equal as unordered trees: the
+// same label and the same multiset of child subtrees (recursively) at every
+// node. The trees must share a label table.
+func EqualUnordered(a, b *Tree) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	return Equal(Canonicalize(a), Canonicalize(b))
+}

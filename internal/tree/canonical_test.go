@@ -1,0 +1,126 @@
+package tree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treejoin/internal/tree"
+)
+
+// shuffleSiblings returns a copy of t with every sibling group independently
+// permuted at random — unordered-equal to t by construction.
+func shuffleSiblings(rng *rand.Rand, t *tree.Tree) *tree.Tree {
+	b := tree.NewBuilder(t.Labels)
+	root := b.RootID(t.Nodes[t.Root()].Label)
+	type frame struct{ src, dst int32 }
+	stack := []frame{{t.Root(), root}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cs := t.Children(f.src)
+		rng.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
+		for _, c := range cs {
+			id := b.ChildID(f.dst, t.Nodes[c].Label)
+			stack = append(stack, frame{c, id})
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestCanonicalizeHandCases(t *testing.T) {
+	lt := tree.NewLabelTable()
+	cases := []struct{ in, want string }{
+		{"{a}", "{a}"},
+		{"{a{c}{b}}", "{a{b}{c}}"},
+		{"{a{b}{b}}", "{a{b}{b}}"},
+		// Same label, different subtrees: the smaller structure sorts first.
+		{"{a{b{z}}{b}}", "{a{b}{b{z}}}"},
+		// Deep reorder: children sorted at every level.
+		{"{r{y{d}{c}}{x{b}{a}}}", "{r{x{a}{b}}{y{c}{d}}}"},
+	}
+	for _, c := range cases {
+		got := tree.FormatBracket(tree.Canonicalize(tree.MustParseBracket(c.in, lt)))
+		if got != c.want {
+			t.Errorf("Canonicalize(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCanonicalizePermutationInvariant: shuffling siblings never changes the
+// canonical form — the defining property.
+func TestCanonicalizePermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	lt := tree.NewLabelTable()
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(40)
+		b := tree.NewBuilder(lt)
+		b.Root(string(rune('a' + rng.Intn(3))))
+		for i := 1; i < n; i++ {
+			b.Child(int32(rng.Intn(i)), string(rune('a'+rng.Intn(3))))
+		}
+		orig := b.MustBuild()
+		want := tree.Canonicalize(orig)
+		if err := want.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 4; p++ {
+			perm := shuffleSiblings(rng, orig)
+			got := tree.Canonicalize(perm)
+			if !tree.Equal(got, want) {
+				t.Fatalf("trial %d: canonical forms differ:\n%s\n%s\n(from %s and %s)",
+					trial, tree.FormatBracket(want), tree.FormatBracket(got),
+					tree.FormatBracket(orig), tree.FormatBracket(perm))
+			}
+			if !tree.EqualUnordered(orig, perm) {
+				t.Fatalf("trial %d: EqualUnordered rejected a sibling permutation", trial)
+			}
+		}
+	}
+}
+
+// TestCanonicalizeIdempotent: canonical forms are fixed points.
+func TestCanonicalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	lt := tree.NewLabelTable()
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(30)
+		b := tree.NewBuilder(lt)
+		b.Root("r")
+		for i := 1; i < n; i++ {
+			b.Child(int32(rng.Intn(i)), string(rune('a'+rng.Intn(4))))
+		}
+		c1 := tree.Canonicalize(b.MustBuild())
+		c2 := tree.Canonicalize(c1)
+		if !tree.Equal(c1, c2) {
+			t.Fatalf("not idempotent: %s vs %s", tree.FormatBracket(c1), tree.FormatBracket(c2))
+		}
+	}
+}
+
+// TestEqualUnorderedNegative: structurally different trees are rejected even
+// when label multisets agree.
+func TestEqualUnorderedNegative(t *testing.T) {
+	lt := tree.NewLabelTable()
+	cases := [][2]string{
+		{"{a{b}{c}}", "{a{b{c}}}"},       // same labels, different shape
+		{"{a{b}{b}}", "{a{b}{c}}"},       // different child multiset
+		{"{a{b}}", "{b{a}}"},             // swapped parent/child
+		{"{a{x{b}{c}}}", "{a{x{b}{b}}}"}, // deep multiset difference
+	}
+	for _, c := range cases {
+		x := tree.MustParseBracket(c[0], lt)
+		y := tree.MustParseBracket(c[1], lt)
+		if tree.EqualUnordered(x, y) {
+			t.Errorf("EqualUnordered(%s, %s) = true", c[0], c[1])
+		}
+	}
+	// And the ordered difference that unordered equality must accept.
+	x := tree.MustParseBracket("{a{c}{b}}", lt)
+	y := tree.MustParseBracket("{a{b}{c}}", lt)
+	if tree.Equal(x, y) {
+		t.Fatal("ordered Equal accepted a reorder")
+	}
+	if !tree.EqualUnordered(x, y) {
+		t.Fatal("EqualUnordered rejected a reorder")
+	}
+}

@@ -1,0 +1,175 @@
+package tree
+
+import "fmt"
+
+// This file implements the three node edit operations of the tree edit
+// distance model (Section 2 of the paper) as pure functions producing new
+// trees. They are used by the synthetic data generator (to plant similar
+// pairs) and by the property tests that check the join filter never prunes a
+// pair within distance τ.
+
+// Rename returns a copy of t with node n relabeled.
+func Rename(t *Tree, n int32, label string) *Tree {
+	out := t.Clone()
+	out.Nodes[n].Label = t.Labels.Intern(label)
+	return out
+}
+
+// Delete returns a copy of t with node n removed; n's children take its place
+// among its siblings, preserving order. Deleting the root is allowed only
+// when the root has exactly one child (the child becomes the new root);
+// otherwise the result would not be a tree.
+func Delete(t *Tree, n int32) (*Tree, error) {
+	nd := t.Nodes[n]
+	if nd.Parent == None {
+		if nd.FirstChild == None || t.Nodes[nd.FirstChild].NextSibling != None {
+			return nil, fmt.Errorf("tree: cannot delete root with %d children", len(t.Children(n)))
+		}
+	}
+	b := NewBuilder(t.Labels)
+	// copyChildren copies the children of src under dst, splicing the
+	// children of n into n's position.
+	var copyChildren func(src, dst int32)
+	copyChildren = func(src, dst int32) {
+		for c := t.Nodes[src].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+			if c == n {
+				copyChildren(c, dst)
+				continue
+			}
+			id := b.ChildID(dst, t.Nodes[c].Label)
+			copyChildren(c, id)
+		}
+	}
+	if nd.Parent == None {
+		newRoot := nd.FirstChild
+		root := b.RootID(t.Nodes[newRoot].Label)
+		copyChildren(newRoot, root)
+	} else {
+		root := b.RootID(t.Nodes[t.Root()].Label)
+		copyChildren(t.Root(), root)
+	}
+	return b.Build()
+}
+
+// Insert returns a copy of t with a new node labeled label inserted under
+// parent at child position at (0-based), adopting the next count consecutive
+// children of parent (those previously at positions at..at+count-1). This is
+// exactly the paper's insertion: the new node is placed between parent and a
+// consecutive run of its children.
+func Insert(t *Tree, parent int32, at, count int, label string) (*Tree, error) {
+	nchild := len(t.Children(parent))
+	if at < 0 || count < 0 || at+count > nchild {
+		return nil, fmt.Errorf("tree: Insert at=%d count=%d out of range (node has %d children)", at, count, nchild)
+	}
+	lab := t.Labels.Intern(label)
+	b := NewBuilder(t.Labels)
+	var copyChildren func(src, dst int32)
+	copyChildren = func(src, dst int32) {
+		if src != parent {
+			for c := t.Nodes[src].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+				id := b.ChildID(dst, t.Nodes[c].Label)
+				copyChildren(c, id)
+			}
+			return
+		}
+		idx := 0
+		wrapper := None
+		for c := t.Nodes[src].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+			if idx == at {
+				wrapper = b.ChildID(dst, lab)
+			}
+			target := dst
+			if idx >= at && idx < at+count {
+				target = wrapper
+			}
+			id := b.ChildID(target, t.Nodes[c].Label)
+			copyChildren(c, id)
+			idx++
+		}
+		if idx == at { // insertion point after the last child (count == 0)
+			b.ChildID(dst, lab)
+		}
+	}
+	root := b.RootID(t.Nodes[t.Root()].Label)
+	copyChildren(t.Root(), root)
+	return b.Build()
+}
+
+// MoveSubtree returns a copy of t with the subtree rooted at x detached and
+// re-attached under target at child position at (0-based, counted after the
+// detach). target must lie outside x's subtree and x must not be the root.
+// A move is not a primitive edit operation — its TED cost is up to twice the
+// subtree size — but it models the block relocations that are common between
+// near-duplicate XML documents and that distinguish the filters' behaviour
+// (bag-based filters barely notice a move; positional filters do).
+func MoveSubtree(t *Tree, x, target int32, at int) (*Tree, error) {
+	if t.Nodes[x].Parent == None {
+		return nil, fmt.Errorf("tree: cannot move the root")
+	}
+	inSubtree := make([]bool, t.Size())
+	stack := []int32{x}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		inSubtree[v] = true
+		for c := t.Nodes[v].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+			stack = append(stack, c)
+		}
+	}
+	if inSubtree[target] {
+		return nil, fmt.Errorf("tree: move target %d lies inside the moved subtree", target)
+	}
+	// Count target's children after the detach to validate at.
+	nchild := 0
+	for c := t.Nodes[target].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+		if c != x {
+			nchild++
+		}
+	}
+	if at < 0 || at > nchild {
+		return nil, fmt.Errorf("tree: move position %d out of range (target has %d children)", at, nchild)
+	}
+	b := NewBuilder(t.Labels)
+	var emitChildren func(src, dst int32)
+	emitChildren = func(src, dst int32) {
+		idx := 0
+		emitMoved := func() {
+			if src == target && idx == at {
+				id := b.ChildID(dst, t.Nodes[x].Label)
+				emitChildren(x, id)
+				idx++
+			}
+		}
+		emitMoved()
+		for c := t.Nodes[src].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+			if c == x {
+				continue
+			}
+			id := b.ChildID(dst, t.Nodes[c].Label)
+			emitChildren(c, id)
+			idx++
+			emitMoved()
+		}
+	}
+	root := b.RootID(t.Nodes[t.Root()].Label)
+	emitChildren(t.Root(), root)
+	return b.Build()
+}
+
+// WrapRoot returns a copy of t with a new root labeled label whose only child
+// is the old root. Together with single-child root deletion this covers the
+// edit scripts the mapping-based TED definition permits at the root.
+func WrapRoot(t *Tree, label string) *Tree {
+	lab := t.Labels.Intern(label)
+	b := NewBuilder(t.Labels)
+	root := b.RootID(lab)
+	var copySub func(src, dst int32)
+	copySub = func(src, dst int32) {
+		id := b.ChildID(dst, t.Nodes[src].Label)
+		for c := t.Nodes[src].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+			copySub(c, id)
+		}
+	}
+	copySub(t.Root(), root)
+	return b.MustBuild()
+}

@@ -1,0 +1,214 @@
+package tree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treejoin/internal/tree"
+)
+
+func TestRename(t *testing.T) {
+	lt := tree.NewLabelTable()
+	a := tree.MustParseBracket("{a{b}{c}}", lt)
+	r := tree.Rename(a, 1, "x")
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.FormatBracket(r); got != "{a{x}{c}}" {
+		t.Fatalf("rename = %s", got)
+	}
+	if tree.FormatBracket(a) != "{a{b}{c}}" {
+		t.Fatal("rename mutated the input")
+	}
+}
+
+func TestDeleteMidNode(t *testing.T) {
+	lt := tree.NewLabelTable()
+	// Paper Figure 2: deleting N4 from T1 yields T2. T1 = l1(l2(l3(l4(l5,l6))), l7)
+	// with N4 = the l4 node; children l5, l6 splice under l3.
+	t1 := tree.MustParseBracket("{l1{l2{l3{l4{l5}{l6}}}}{l7}}", lt)
+	n4 := int32(-1)
+	for id := range t1.Nodes {
+		if t1.Label(int32(id)) == "l4" {
+			n4 = int32(id)
+		}
+	}
+	t2, err := tree.Delete(t1, n4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tree.FormatBracket(t2), "{l1{l2{l3{l5}{l6}}}{l7}}"; got != want {
+		t.Fatalf("delete = %s, want %s", got, want)
+	}
+}
+
+func TestDeleteSplicePreservesSiblingOrder(t *testing.T) {
+	lt := tree.NewLabelTable()
+	a := tree.MustParseBracket("{r{x}{m{p}{q}}{y}}", lt)
+	var m int32
+	for id := range a.Nodes {
+		if a.Label(int32(id)) == "m" {
+			m = int32(id)
+		}
+	}
+	out, err := tree.Delete(a, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tree.FormatBracket(out), "{r{x}{p}{q}{y}}"; got != want {
+		t.Fatalf("delete = %s, want %s", got, want)
+	}
+}
+
+func TestDeleteRoot(t *testing.T) {
+	lt := tree.NewLabelTable()
+	ok := tree.MustParseBracket("{a{b{c}{d}}}", lt)
+	out, err := tree.Delete(ok, 0)
+	if err != nil {
+		t.Fatalf("single-child root delete: %v", err)
+	}
+	if got := tree.FormatBracket(out); got != "{b{c}{d}}" {
+		t.Fatalf("root delete = %s", got)
+	}
+	multi := tree.MustParseBracket("{a{b}{c}}", lt)
+	if _, err := tree.Delete(multi, 0); err == nil {
+		t.Fatal("deleting multi-child root should fail")
+	}
+	leaf := tree.MustParseBracket("{a}", lt)
+	if _, err := tree.Delete(leaf, 0); err == nil {
+		t.Fatal("deleting the only node should fail")
+	}
+}
+
+func TestInsertCases(t *testing.T) {
+	lt := tree.NewLabelTable()
+	base := tree.MustParseBracket("{r{a}{b}{c}}", lt)
+	cases := []struct {
+		at, count int
+		want      string
+	}{
+		{0, 0, "{r{x}{a}{b}{c}}"},
+		{3, 0, "{r{a}{b}{c}{x}}"},
+		{0, 3, "{r{x{a}{b}{c}}}"},
+		{1, 1, "{r{a}{x{b}}{c}}"},
+		{1, 2, "{r{a}{x{b}{c}}}"},
+		{2, 1, "{r{a}{b}{x{c}}}"},
+	}
+	for _, c := range cases {
+		out, err := tree.Insert(base, 0, c.at, c.count, "x")
+		if err != nil {
+			t.Fatalf("Insert(%d,%d): %v", c.at, c.count, err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("Insert(%d,%d) invalid: %v", c.at, c.count, err)
+		}
+		if got := tree.FormatBracket(out); got != c.want {
+			t.Errorf("Insert(%d,%d) = %s, want %s", c.at, c.count, got, c.want)
+		}
+	}
+}
+
+func TestInsertIntoLeaf(t *testing.T) {
+	lt := tree.NewLabelTable()
+	base := tree.MustParseBracket("{r{a}}", lt)
+	out, err := tree.Insert(base, 1, 0, 0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.FormatBracket(out); got != "{r{a{x}}}" {
+		t.Fatalf("leaf insert = %s", got)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	lt := tree.NewLabelTable()
+	base := tree.MustParseBracket("{r{a}{b}}", lt)
+	for _, c := range []struct{ at, count int }{{-1, 0}, {0, 3}, {3, 0}, {2, 1}} {
+		if _, err := tree.Insert(base, 0, c.at, c.count, "x"); err == nil {
+			t.Errorf("Insert(%d,%d) should fail", c.at, c.count)
+		}
+	}
+}
+
+func TestInsertDeleteInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	lt := tree.NewLabelTable()
+	for i := 0; i < 200; i++ {
+		orig := randomTree(rng, 40, 4, lt)
+		parent := int32(rng.Intn(orig.Size()))
+		nc := len(orig.Children(parent))
+		at := rng.Intn(nc + 1)
+		count := 0
+		if nc-at > 0 {
+			count = rng.Intn(nc - at + 1)
+		}
+		ins, err := tree.Insert(orig, parent, at, count, "INSERTED")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ins.Size() != orig.Size()+1 {
+			t.Fatalf("insert did not grow the tree by one")
+		}
+		// Find the inserted node and delete it again.
+		var newNode int32 = tree.None
+		for id := range ins.Nodes {
+			if ins.Label(int32(id)) == "INSERTED" {
+				newNode = int32(id)
+			}
+		}
+		back, err := tree.Delete(ins, newNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Equal(orig, back) {
+			t.Fatalf("insert+delete != identity:\norig %s\nins  %s\nback %s",
+				tree.FormatBracket(orig), tree.FormatBracket(ins), tree.FormatBracket(back))
+		}
+	}
+}
+
+func TestWrapRoot(t *testing.T) {
+	lt := tree.NewLabelTable()
+	a := tree.MustParseBracket("{a{b}{c}}", lt)
+	w := tree.WrapRoot(a, "top")
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.FormatBracket(w); got != "{top{a{b}{c}}}" {
+		t.Fatalf("wrap = %s", got)
+	}
+	back, err := tree.Delete(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(a, back) {
+		t.Fatal("wrap+delete root != identity")
+	}
+}
+
+func TestEditSizeDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	lt := tree.NewLabelTable()
+	for i := 0; i < 100; i++ {
+		tr := randomTree(rng, 30, 3, lt)
+		n := int32(rng.Intn(tr.Size()))
+		if got := tree.Rename(tr, n, "zz"); got.Size() != tr.Size() {
+			t.Fatal("rename changed size")
+		}
+		if tr.Nodes[n].Parent != tree.None {
+			del, err := tree.Delete(tr, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if del.Size() != tr.Size()-1 {
+				t.Fatal("delete size delta != -1")
+			}
+			if err := del.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

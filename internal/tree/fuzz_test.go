@@ -1,0 +1,71 @@
+package tree_test
+
+import (
+	"strings"
+	"testing"
+
+	"treejoin/internal/tree"
+)
+
+// FuzzParseBracket: arbitrary input must never panic; accepted input must
+// round-trip through FormatBracket, and the result must be structurally
+// valid.
+func FuzzParseBracket(f *testing.F) {
+	for _, seed := range []string{
+		"{a{b}{c{d}}}",
+		"{a}",
+		"{}",
+		"{a{b}",
+		`{a\{b\}}`,
+		"{a {b} {c}}",
+		"{" + strings.Repeat("{x", 50) + strings.Repeat("}", 51),
+		"not a tree",
+		"{\\",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		lt := tree.NewLabelTable()
+		tr, err := tree.ParseBracket(s, lt)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid tree from %q: %v", s, err)
+		}
+		out := tree.FormatBracket(tr)
+		back, err := tree.ParseBracket(out, lt)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", out, err)
+		}
+		if !tree.Equal(tr, back) {
+			t.Fatalf("round trip changed tree: %q -> %q", s, out)
+		}
+	})
+}
+
+// FuzzParseXML: arbitrary input must never panic; accepted documents must be
+// valid trees within the node budget.
+func FuzzParseXML(f *testing.F) {
+	for _, seed := range []string{
+		"<a><b/><c>text</c></a>",
+		"<a>",
+		"<a x='1'><a><a/></a></a>",
+		"plain",
+		"<a><b></a></b>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := tree.ParseXMLString(s, nil, tree.XMLOptions{IncludeText: true, IncludeAttrs: true, MaxNodes: 1000})
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid tree from %q: %v", s, err)
+		}
+		if tr.Size() > 1000 {
+			t.Fatalf("MaxNodes exceeded: %d", tr.Size())
+		}
+	})
+}

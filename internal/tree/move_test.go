@@ -1,0 +1,175 @@
+package tree_test
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"treejoin/internal/tree"
+)
+
+func TestMoveSubtreeBasics(t *testing.T) {
+	lt := tree.NewLabelTable()
+	base := tree.MustParseBracket("{r{a{x}{y}}{b}{c}}", lt)
+	var a, b int32
+	for id := range base.Nodes {
+		switch base.Label(int32(id)) {
+		case "a":
+			a = int32(id)
+		case "b":
+			b = int32(id)
+		}
+	}
+	// Move subtree a under b.
+	out, err := tree.MoveSubtree(base, a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.FormatBracket(out); got != "{r{b{a{x}{y}}}{c}}" {
+		t.Fatalf("move = %s", got)
+	}
+	// Move b to be the last child of the root.
+	out2, err := tree.MoveSubtree(base, b, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.FormatBracket(out2); got != "{r{a{x}{y}}{c}{b}}" {
+		t.Fatalf("move = %s", got)
+	}
+	// Reposition within the same parent.
+	out3, err := tree.MoveSubtree(base, a, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.FormatBracket(out3); got != "{r{b}{c}{a{x}{y}}}" {
+		t.Fatalf("move = %s", got)
+	}
+}
+
+func TestMoveSubtreeErrors(t *testing.T) {
+	lt := tree.NewLabelTable()
+	base := tree.MustParseBracket("{r{a{x}}{b}}", lt)
+	var a, x int32
+	for id := range base.Nodes {
+		switch base.Label(int32(id)) {
+		case "a":
+			a = int32(id)
+		case "x":
+			x = int32(id)
+		}
+	}
+	if _, err := tree.MoveSubtree(base, 0, a, 0); err == nil {
+		t.Error("moving the root should fail")
+	}
+	if _, err := tree.MoveSubtree(base, a, x, 0); err == nil {
+		t.Error("moving into own subtree should fail")
+	}
+	if _, err := tree.MoveSubtree(base, a, 0, 5); err == nil {
+		t.Error("out-of-range position should fail")
+	}
+}
+
+// TestMoveSubtreeInvariants: moves preserve size and the label multiset, and
+// always produce valid trees.
+func TestMoveSubtreeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	lt := tree.NewLabelTable()
+	labelBag := func(tr *tree.Tree) string {
+		var ls []string
+		for id := range tr.Nodes {
+			ls = append(ls, tr.Label(int32(id)))
+		}
+		sort.Strings(ls)
+		return strings.Join(ls, ",")
+	}
+	moves := 0
+	for i := 0; i < 400; i++ {
+		base := randomTree(rng, 30, 4, lt)
+		if base.Size() < 3 {
+			continue
+		}
+		x := int32(1 + rng.Intn(base.Size()-1))
+		if base.Nodes[x].Parent == tree.None {
+			continue
+		}
+		target := int32(rng.Intn(base.Size()))
+		nc := 0
+		for c := base.Nodes[target].FirstChild; c != tree.None; c = base.Nodes[c].NextSibling {
+			if c != x {
+				nc++
+			}
+		}
+		out, err := tree.MoveSubtree(base, x, target, rng.Intn(nc+1))
+		if err != nil {
+			continue // target inside subtree — rejected correctly
+		}
+		moves++
+		if err := out.Validate(); err != nil {
+			t.Fatalf("invalid after move: %v", err)
+		}
+		if out.Size() != base.Size() {
+			t.Fatalf("size changed by move")
+		}
+		if labelBag(out) != labelBag(base) {
+			t.Fatalf("label multiset changed by move")
+		}
+	}
+	if moves < 100 {
+		t.Fatalf("only %d successful moves exercised", moves)
+	}
+}
+
+// TestBracketQuickRoundTrip drives the parser with testing/quick over
+// generated trees (structure from a seed, labels from raw bytes including
+// braces and backslashes, exercising the escaping).
+func TestBracketQuickRoundTrip(t *testing.T) {
+	lt := tree.NewLabelTable()
+	f := func(seed int64, rawLabels [][]byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := tree.NewBuilder(lt)
+		lab := func(i int) string {
+			if len(rawLabels) == 0 {
+				return "x"
+			}
+			return string(rawLabels[i%len(rawLabels)])
+		}
+		b.Root(lab(0))
+		n := 1 + rng.Intn(20)
+		for i := 1; i < n; i++ {
+			b.Child(int32(rng.Intn(i)), lab(i))
+		}
+		orig := b.MustBuild()
+		back, err := tree.ParseBracket(tree.FormatBracket(orig), lt)
+		if err != nil {
+			return false
+		}
+		return tree.Equal(orig, back)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(87))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEqualQuickSymmetry: Equal is symmetric and implied by canonical-form
+// equality, under testing/quick generation.
+func TestEqualQuickSymmetry(t *testing.T) {
+	lt := tree.NewLabelTable()
+	gen := func(seed int64) *tree.Tree {
+		rng := rand.New(rand.NewSource(seed))
+		return randomTree(rng, 15, 2, lt)
+	}
+	f := func(s1, s2 int64) bool {
+		a, b := gen(s1), gen(s2)
+		if tree.Equal(a, b) != tree.Equal(b, a) {
+			return false
+		}
+		return tree.Equal(a, b) == (tree.FormatBracket(a) == tree.FormatBracket(b))
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(91))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

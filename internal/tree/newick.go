@@ -1,0 +1,270 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Newick format support. Newick is the standard interchange format for
+// phylogenetic trees — "(A,B,(C,D)E)F;" — and a convenient bridge to the
+// biology workloads of the paper's introduction (RNA secondary structures,
+// species trees). The subset implemented here covers what the similarity
+// join needs:
+//
+//   - node names, quoted ('it''s') or unquoted, on leaves and internal nodes
+//     (internal names follow the closing parenthesis); missing names become
+//     the empty label;
+//   - branch lengths (":0.31") are parsed and discarded — TED is defined on
+//     labels and shape, not on branch lengths;
+//   - bracketed comments ("[...]") are skipped anywhere whitespace may occur.
+//
+// Child order is preserved: Newick trees are read as rooted *ordered* trees,
+// which is what the TED of this module is defined over.
+
+// newickNode is the parser's intermediate form; the Builder wants parents
+// before children, but a Newick internal node's name arrives after its
+// children.
+type newickNode struct {
+	name     string
+	children []*newickNode
+}
+
+type newickParser struct {
+	s   string
+	pos int
+}
+
+// ParseNewick parses a single Newick tree, e.g. "(A,B,(C,D)E)F;". The
+// terminating semicolon is required; trailing whitespace is allowed.
+func ParseNewick(s string, lt *LabelTable) (*Tree, error) {
+	if lt == nil {
+		lt = NewLabelTable()
+	}
+	p := &newickParser{s: s}
+	p.skipSpace()
+	root, err := p.subtree()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eat(';') {
+		return nil, p.errf("expected ';'")
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, p.errf("trailing input after ';'")
+	}
+	b := NewBuilder(lt)
+	b.Root(root.name)
+	var build func(parent int32, n *newickNode)
+	build = func(parent int32, n *newickNode) {
+		for _, c := range n.children {
+			id := b.Child(parent, c.name)
+			build(id, c)
+		}
+	}
+	build(0, root)
+	return b.Build()
+}
+
+// MustParseNewick is ParseNewick but panics on error. Intended for tests and
+// examples.
+func MustParseNewick(s string, lt *LabelTable) *Tree {
+	t, err := ParseNewick(s, lt)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (p *newickParser) errf(format string, args ...any) error {
+	return fmt.Errorf("newick: %s at offset %d", fmt.Sprintf(format, args...), p.pos)
+}
+
+func (p *newickParser) eat(c byte) bool {
+	if p.pos < len(p.s) && p.s[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// skipSpace consumes whitespace and [comments].
+func (p *newickParser) skipSpace() {
+	for p.pos < len(p.s) {
+		switch p.s[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		case '[':
+			end := strings.IndexByte(p.s[p.pos:], ']')
+			if end < 0 {
+				p.pos = len(p.s) // unterminated comment: let the caller fail
+				return
+			}
+			p.pos += end + 1
+		default:
+			return
+		}
+	}
+}
+
+func (p *newickParser) subtree() (*newickNode, error) {
+	p.skipSpace()
+	n := &newickNode{}
+	if p.eat('(') {
+		for {
+			child, err := p.subtree()
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, child)
+			p.skipSpace()
+			if p.eat(',') {
+				continue
+			}
+			break
+		}
+		if !p.eat(')') {
+			return nil, p.errf("expected ')' or ','")
+		}
+	}
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	n.name = name
+	p.skipSpace()
+	if p.eat(':') { // branch length: parsed and discarded
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.s) && (isNewickDigit(p.s[p.pos])) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, p.errf("expected branch length after ':'")
+		}
+	}
+	return n, nil
+}
+
+func isNewickDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'
+}
+
+func (p *newickParser) name() (string, error) {
+	p.skipSpace()
+	if p.eat('\'') { // quoted: '' escapes a quote
+		var sb strings.Builder
+		for {
+			if p.pos >= len(p.s) {
+				return "", p.errf("unterminated quoted name")
+			}
+			c := p.s[p.pos]
+			p.pos++
+			if c == '\'' {
+				if p.pos < len(p.s) && p.s[p.pos] == '\'' {
+					sb.WriteByte('\'')
+					p.pos++
+					continue
+				}
+				return sb.String(), nil
+			}
+			sb.WriteByte(c)
+		}
+	}
+	start := p.pos
+	for p.pos < len(p.s) && !isNewickSpecial(p.s[p.pos]) {
+		p.pos++
+	}
+	return p.s[start:p.pos], nil
+}
+
+func isNewickSpecial(c byte) bool {
+	switch c {
+	case '(', ')', ',', ':', ';', '[', ']', '\'', ' ', '\t', '\n', '\r':
+		return true
+	}
+	return false
+}
+
+// FormatNewick renders t in Newick notation with a terminating semicolon.
+// Names that contain Newick metacharacters are quoted, so the output
+// round-trips through ParseNewick.
+func FormatNewick(t *Tree) string {
+	var sb strings.Builder
+	var walk func(n int32)
+	walk = func(n int32) {
+		if c := t.Nodes[n].FirstChild; c != None {
+			sb.WriteByte('(')
+			for ; c != None; c = t.Nodes[c].NextSibling {
+				if c != t.Nodes[n].FirstChild {
+					sb.WriteByte(',')
+				}
+				walk(c)
+			}
+			sb.WriteByte(')')
+		}
+		writeNewickName(&sb, t.Label(n))
+	}
+	walk(t.Root())
+	sb.WriteByte(';')
+	return sb.String()
+}
+
+func writeNewickName(sb *strings.Builder, name string) {
+	needQuote := false
+	for i := 0; i < len(name); i++ {
+		if isNewickSpecial(name[i]) {
+			needQuote = true
+			break
+		}
+	}
+	if !needQuote {
+		sb.WriteString(name)
+		return
+	}
+	sb.WriteByte('\'')
+	sb.WriteString(strings.ReplaceAll(name, "'", "''"))
+	sb.WriteByte('\'')
+}
+
+// ParseDotBracket converts an RNA secondary structure in Vienna dot-bracket
+// notation into its standard rooted ordered tree encoding: every base pair
+// (matching parentheses) becomes an internal node labeled "P", every
+// unpaired position (dot) a leaf labeled with its base from seq (or "N" when
+// seq is empty), all under a virtual "root" node. seq, when non-empty, must
+// have the structure's length.
+func ParseDotBracket(structure, seq string, lt *LabelTable) (*Tree, error) {
+	if lt == nil {
+		lt = NewLabelTable()
+	}
+	if seq != "" && len(seq) != len(structure) {
+		return nil, fmt.Errorf("dotbracket: sequence length %d != structure length %d", len(seq), len(structure))
+	}
+	b := NewBuilder(lt)
+	stack := []int32{b.Root("root")}
+	for i := 0; i < len(structure); i++ {
+		top := stack[len(stack)-1]
+		switch structure[i] {
+		case '(':
+			stack = append(stack, b.Child(top, "P"))
+		case ')':
+			if len(stack) == 1 {
+				return nil, fmt.Errorf("dotbracket: unbalanced ')' at %d", i)
+			}
+			stack = stack[:len(stack)-1]
+		case '.':
+			base := "N"
+			if seq != "" {
+				base = string(seq[i])
+			}
+			b.Child(top, base)
+		default:
+			return nil, fmt.Errorf("dotbracket: unexpected %q at %d", structure[i], i)
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("dotbracket: %d unmatched '('", len(stack)-1)
+	}
+	return b.Build()
+}

@@ -1,0 +1,78 @@
+package tree_test
+
+import (
+	"testing"
+
+	"treejoin/internal/tree"
+)
+
+// FuzzParseNewick: arbitrary input must never panic; accepted input must
+// produce a valid tree whose canonical rendering reparses to an equal tree.
+func FuzzParseNewick(f *testing.F) {
+	for _, seed := range []string{
+		"A;",
+		"(A,B)C;",
+		"(A,B,(C,D)E)F;",
+		"(A:0.1,B:0.2):0.3;",
+		"('quo''ted',B)r;",
+		"[c](A)[c]B[c];",
+		"((((((deep))))));",
+		"(A,B",
+		"'unterminated",
+		";",
+		"(,,,);",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		lt := tree.NewLabelTable()
+		tr, err := tree.ParseNewick(s, lt)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid tree from %q: %v", s, err)
+		}
+		out := tree.FormatNewick(tr)
+		back, err := tree.ParseNewick(out, lt)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", out, err)
+		}
+		if !tree.Equal(tr, back) {
+			t.Fatalf("round trip changed tree: %q -> %q", s, out)
+		}
+	})
+}
+
+// FuzzParseDotBracket: arbitrary structure/sequence input must never panic;
+// accepted structures must produce valid trees with one node per base pair,
+// one per unpaired position, plus the root.
+func FuzzParseDotBracket(f *testing.F) {
+	f.Add("(((...)))", "GGGAAACCC")
+	f.Add("", "")
+	f.Add("()", "GC")
+	f.Add("((", "GG")
+	f.Add("...", "")
+	f.Fuzz(func(t *testing.T, structure, seq string) {
+		lt := tree.NewLabelTable()
+		tr, err := tree.ParseDotBracket(structure, seq, lt)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid tree from %q: %v", structure, err)
+		}
+		pairs, dots := 0, 0
+		for i := 0; i < len(structure); i++ {
+			switch structure[i] {
+			case '(':
+				pairs++
+			case '.':
+				dots++
+			}
+		}
+		if tr.Size() != 1+pairs+dots {
+			t.Fatalf("size %d, want %d (pairs=%d dots=%d)", tr.Size(), 1+pairs+dots, pairs, dots)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseBracket parses the bracket notation used throughout the tree edit
+// distance literature:
+//
+//	tree  := '{' label tree* '}'
+//	label := any characters except '{' and '}'; both (and '\') may be
+//	         escaped with a backslash
+//
+// For example "{a{b{d}}{c}}" is the tree with root a, children b and c, and
+// grandchild d under b. Whitespace between a closing brace and the next
+// opening brace is ignored so inputs may be pretty-printed; whitespace inside
+// a label is preserved.
+func ParseBracket(s string, labels *LabelTable) (*Tree, error) {
+	if labels == nil {
+		labels = NewLabelTable()
+	}
+	p := &bracketParser{src: s, labels: labels}
+	t, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustParseBracket is ParseBracket but panics on error. Intended for tests
+// and examples with literal inputs.
+func MustParseBracket(s string, labels *LabelTable) *Tree {
+	t, err := ParseBracket(s, labels)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type bracketParser struct {
+	src    string
+	pos    int
+	labels *LabelTable
+	b      *Builder
+}
+
+func (p *bracketParser) parse() (*Tree, error) {
+	p.b = NewBuilder(p.labels)
+	p.skipSpace()
+	if err := p.node(None); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("tree: trailing input at byte %d: %q", p.pos, p.src[p.pos:])
+	}
+	return p.b.Build()
+}
+
+func (p *bracketParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *bracketParser) node(parent int32) error {
+	if p.pos >= len(p.src) || p.src[p.pos] != '{' {
+		return fmt.Errorf("tree: expected '{' at byte %d", p.pos)
+	}
+	p.pos++
+	label, err := p.label()
+	if err != nil {
+		return err
+	}
+	var id int32
+	if parent == None {
+		id = p.b.Root(label)
+	} else {
+		id = p.b.Child(parent, label)
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return fmt.Errorf("tree: unexpected end of input, unclosed node %q", label)
+		}
+		switch p.src[p.pos] {
+		case '{':
+			if err := p.node(id); err != nil {
+				return err
+			}
+		case '}':
+			p.pos++
+			return nil
+		default:
+			return fmt.Errorf("tree: unexpected byte %q at %d", p.src[p.pos], p.pos)
+		}
+	}
+}
+
+func (p *bracketParser) label() (string, error) {
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case '{', '}':
+			return sb.String(), nil
+		case '\\':
+			if p.pos+1 >= len(p.src) {
+				return "", fmt.Errorf("tree: dangling escape at byte %d", p.pos)
+			}
+			sb.WriteByte(p.src[p.pos+1])
+			p.pos += 2
+		default:
+			sb.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", fmt.Errorf("tree: unexpected end of input in label")
+}
+
+// FormatBracket renders t in bracket notation. The output round-trips through
+// ParseBracket and is canonical: two trees are Equal iff their bracket forms
+// are identical strings.
+func FormatBracket(t *Tree) string {
+	var sb strings.Builder
+	formatBracketNode(t, t.Root(), &sb)
+	return sb.String()
+}
+
+func formatBracketNode(t *Tree, n int32, sb *strings.Builder) {
+	sb.WriteByte('{')
+	escapeLabel(t.Label(n), sb)
+	for c := t.Nodes[n].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+		formatBracketNode(t, c, sb)
+	}
+	sb.WriteByte('}')
+}
+
+func escapeLabel(s string, sb *strings.Builder) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{', '}', '\\':
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+}

@@ -1,0 +1,68 @@
+package tree
+
+// Stats summarises the shape of a single tree or a collection; the fields
+// mirror the dataset statistics reported in the paper's Section 4 (average
+// tree size, number of distinct labels, average depth, maximum depth).
+type Stats struct {
+	Trees     int     // number of trees
+	Nodes     int     // total node count
+	AvgSize   float64 // mean nodes per tree
+	MinSize   int
+	MaxSize   int
+	Labels    int     // distinct labels appearing in the collection
+	AvgDepth  float64 // mean node depth (root = 0)
+	MaxDepth  int
+	AvgFanout float64 // mean children per internal node
+	MaxFanout int
+}
+
+// Measure computes collection statistics over ts.
+func Measure(ts []*Tree) Stats {
+	var s Stats
+	s.Trees = len(ts)
+	if len(ts) == 0 {
+		return s
+	}
+	s.MinSize = ts[0].Size()
+	labelSet := make(map[string]struct{})
+	var depthSum float64
+	var fanoutSum float64
+	var internal int
+	for _, t := range ts {
+		n := t.Size()
+		s.Nodes += n
+		if n < s.MinSize {
+			s.MinSize = n
+		}
+		if n > s.MaxSize {
+			s.MaxSize = n
+		}
+		depths := Depths(t)
+		for id := range t.Nodes {
+			labelSet[t.Label(int32(id))] = struct{}{}
+			d := int(depths[id])
+			depthSum += float64(d)
+			if d > s.MaxDepth {
+				s.MaxDepth = d
+			}
+			fan := 0
+			for c := t.Nodes[id].FirstChild; c != None; c = t.Nodes[c].NextSibling {
+				fan++
+			}
+			if fan > 0 {
+				internal++
+				fanoutSum += float64(fan)
+				if fan > s.MaxFanout {
+					s.MaxFanout = fan
+				}
+			}
+		}
+	}
+	s.AvgSize = float64(s.Nodes) / float64(s.Trees)
+	s.Labels = len(labelSet)
+	s.AvgDepth = depthSum / float64(s.Nodes)
+	if internal > 0 {
+		s.AvgFanout = fanoutSum / float64(internal)
+	}
+	return s
+}

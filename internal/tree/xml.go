@@ -1,0 +1,99 @@
+package tree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// XMLOptions controls how an XML document is mapped onto a tree.
+type XMLOptions struct {
+	// IncludeText adds a leaf node per non-whitespace character-data run,
+	// labeled with the trimmed text. The paper's HTML example (Figure 1)
+	// treats text exactly this way.
+	IncludeText bool
+	// IncludeAttrs adds one leaf node per attribute, labeled "name=value",
+	// before the element's other children.
+	IncludeAttrs bool
+	// MaxNodes aborts parsing once the tree exceeds this many nodes
+	// (0 = unlimited); a guard for untrusted inputs.
+	MaxNodes int
+}
+
+// ParseXML reads one XML document from r and returns its tree representation:
+// elements become nodes labeled by tag name, optionally with text and
+// attribute leaves.
+func ParseXML(r io.Reader, labels *LabelTable, opts XMLOptions) (*Tree, error) {
+	if labels == nil {
+		labels = NewLabelTable()
+	}
+	dec := xml.NewDecoder(r)
+	b := NewBuilder(labels)
+	var stack []int32
+	addNode := func(label string) (int32, error) {
+		if opts.MaxNodes > 0 && len(b.nodes) >= opts.MaxNodes {
+			return None, fmt.Errorf("tree: XML document exceeds %d nodes", opts.MaxNodes)
+		}
+		if len(stack) == 0 {
+			if len(b.nodes) > 0 {
+				return None, fmt.Errorf("tree: XML document has multiple roots")
+			}
+			return b.Root(label), nil
+		}
+		return b.Child(stack[len(stack)-1], label), nil
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tree: XML parse: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			id, err := addNode(el.Name.Local)
+			if err != nil {
+				return nil, err
+			}
+			if opts.IncludeAttrs {
+				for _, a := range el.Attr {
+					if opts.MaxNodes > 0 && len(b.nodes) >= opts.MaxNodes {
+						return nil, fmt.Errorf("tree: XML document exceeds %d nodes", opts.MaxNodes)
+					}
+					b.Child(id, a.Name.Local+"="+a.Value)
+				}
+			}
+			stack = append(stack, id)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("tree: unbalanced XML end element %s", el.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if !opts.IncludeText || len(stack) == 0 {
+				continue
+			}
+			text := strings.TrimSpace(string(el))
+			if text == "" {
+				continue
+			}
+			if _, err := addNode(text); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("tree: XML document truncated inside element")
+	}
+	if len(b.nodes) == 0 {
+		return nil, fmt.Errorf("tree: XML document contains no elements")
+	}
+	return b.Build()
+}
+
+// ParseXMLString is ParseXML over a string.
+func ParseXMLString(s string, labels *LabelTable, opts XMLOptions) (*Tree, error) {
+	return ParseXML(strings.NewReader(s), labels, opts)
+}

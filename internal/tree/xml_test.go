@@ -1,0 +1,122 @@
+package tree_test
+
+import (
+	"strings"
+	"testing"
+
+	"treejoin/internal/tree"
+)
+
+// The HTML fragment of the paper's Figure 1.
+const figure1HTML = `<html>
+<title>Test page</title>
+<body>
+<p>This is a <dfn>dfn</dfn> tag example.</p>
+</body>
+</html>`
+
+func TestParseXMLFigure1(t *testing.T) {
+	lt := tree.NewLabelTable()
+	tr, err := tree.ParseXMLString(figure1HTML, lt, tree.XMLOptions{IncludeText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1's tree: html(title("Test page"), body(p("This is a",
+	// dfn("dfn"), "tag example."))) — 9 nodes.
+	want := "{html{title{Test page}}{body{p{This is a}{dfn{dfn}}{tag example.}}}}"
+	if got := tree.FormatBracket(tr); got != want {
+		t.Fatalf("tree = %s\nwant  %s", got, want)
+	}
+	if tr.Label(tr.Root()) != "html" {
+		t.Fatalf("root = %q", tr.Label(tr.Root()))
+	}
+	cs := tr.Children(tr.Root())
+	if len(cs) != 2 || tr.Label(cs[0]) != "title" || tr.Label(cs[1]) != "body" {
+		t.Fatalf("root children wrong: %s", tree.FormatBracket(tr))
+	}
+}
+
+func TestParseXMLElementsOnly(t *testing.T) {
+	lt := tree.NewLabelTable()
+	tr, err := tree.ParseXMLString(figure1HTML, lt, tree.XMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 5 { // html, title, body, p, dfn
+		t.Fatalf("size = %d, want 5", tr.Size())
+	}
+}
+
+func TestParseXMLAttributes(t *testing.T) {
+	lt := tree.NewLabelTable()
+	tr, err := tree.ParseXMLString(`<a x="1" y="2"><b z="3"/></a>`, lt, tree.XMLOptions{IncludeAttrs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.FormatBracket(tr); got != "{a{x=1}{y=2}{b{z=3}}}" {
+		t.Fatalf("attrs tree = %s", got)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"<a><b></a></b>", // mismatched nesting
+		"<a>",            // truncated
+		"<a/><b/>",       // two roots
+		"just text",
+	} {
+		if _, err := tree.ParseXMLString(s, nil, tree.XMLOptions{}); err == nil {
+			t.Errorf("ParseXMLString(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseXMLMaxNodes(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("<c/>")
+	}
+	sb.WriteString("</r>")
+	if _, err := tree.ParseXMLString(sb.String(), nil, tree.XMLOptions{MaxNodes: 10}); err == nil {
+		t.Fatal("MaxNodes limit not enforced")
+	}
+	if tr, err := tree.ParseXMLString(sb.String(), nil, tree.XMLOptions{MaxNodes: 200}); err != nil || tr.Size() != 101 {
+		t.Fatalf("within limit: %v, size %d", err, tr.Size())
+	}
+}
+
+func TestMeasureStats(t *testing.T) {
+	lt := tree.NewLabelTable()
+	ts := []*tree.Tree{
+		tree.MustParseBracket("{a{b}{c}}", lt),
+		tree.MustParseBracket("{a{b{c{d}}}}", lt),
+	}
+	s := tree.Measure(ts)
+	if s.Trees != 2 || s.Nodes != 7 {
+		t.Fatalf("trees=%d nodes=%d", s.Trees, s.Nodes)
+	}
+	if s.MinSize != 3 || s.MaxSize != 4 {
+		t.Fatalf("min=%d max=%d", s.MinSize, s.MaxSize)
+	}
+	if s.Labels != 4 {
+		t.Fatalf("labels=%d", s.Labels)
+	}
+	if s.MaxDepth != 3 {
+		t.Fatalf("maxdepth=%d", s.MaxDepth)
+	}
+	if s.MaxFanout != 2 {
+		t.Fatalf("maxfanout=%d", s.MaxFanout)
+	}
+	if s.AvgSize != 3.5 {
+		t.Fatalf("avgsize=%f", s.AvgSize)
+	}
+	empty := tree.Measure(nil)
+	if empty.Trees != 0 || empty.Nodes != 0 {
+		t.Fatal("Measure(nil) not zero")
+	}
+}

@@ -1,0 +1,153 @@
+package treejoin
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"treejoin/internal/dataset"
+	"treejoin/internal/tree"
+)
+
+// ReadBracketLines reads one bracket-notation tree per non-empty line from r.
+// Lines starting with '#' are comments. All trees intern into lt (a fresh
+// table if nil).
+func ReadBracketLines(r io.Reader, lt *LabelTable) ([]*Tree, error) {
+	if lt == nil {
+		lt = NewLabelTable()
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26) // trees can be long single lines
+	var out []*Tree
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if isBlankOrComment(line) {
+			continue
+		}
+		t, err := ParseBracket(line, lt)
+		if err != nil {
+			return nil, fmt.Errorf("treejoin: line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("treejoin: reading trees: %w", err)
+	}
+	return out, nil
+}
+
+func isBlankOrComment(line string) bool {
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case ' ', '\t', '\r':
+			continue
+		case '#':
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ReadBracketFile reads a bracket-notation dataset (one tree per line) from
+// path.
+func ReadBracketFile(path string, lt *LabelTable) ([]*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("treejoin: %w", err)
+	}
+	defer f.Close()
+	return ReadBracketLines(f, lt)
+}
+
+// ParseNewick parses a tree in Newick notation, e.g. "(A,B,(C,D)E)F;".
+// Quoted names, comments, and branch lengths are accepted; branch lengths
+// are discarded (TED is defined on labels and shape). Child order is
+// preserved.
+func ParseNewick(s string, lt *LabelTable) (*Tree, error) { return tree.ParseNewick(s, lt) }
+
+// MustParseNewick is ParseNewick but panics on error.
+func MustParseNewick(s string, lt *LabelTable) *Tree { return tree.MustParseNewick(s, lt) }
+
+// FormatNewick renders t in Newick notation; the output round-trips through
+// ParseNewick.
+func FormatNewick(t *Tree) string { return tree.FormatNewick(t) }
+
+// ParseDotBracket converts an RNA secondary structure in Vienna dot-bracket
+// notation into its standard tree encoding: base pairs become "P" nodes,
+// unpaired positions become leaves labeled by their base in seq ("N" when
+// seq is empty), all under a virtual "root". seq, when non-empty, must have
+// the structure's length.
+func ParseDotBracket(structure, seq string, lt *LabelTable) (*Tree, error) {
+	return tree.ParseDotBracket(structure, seq, lt)
+}
+
+// WriteBracketLines writes ts to w, one bracket-notation tree per line.
+func WriteBracketLines(w io.Writer, ts []*Tree) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		if _, err := bw.WriteString(FormatBracket(t)); err != nil {
+			return fmt.Errorf("treejoin: writing trees: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("treejoin: writing trees: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("treejoin: writing trees: %w", err)
+	}
+	return nil
+}
+
+// ReadNewickLines reads one Newick tree per non-empty line from r. Lines
+// starting with '#' are comments. All trees intern into lt (a fresh table if
+// nil).
+func ReadNewickLines(r io.Reader, lt *LabelTable) ([]*Tree, error) {
+	if lt == nil {
+		lt = NewLabelTable()
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var out []*Tree
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if isBlankOrComment(line) {
+			continue
+		}
+		t, err := ParseNewick(line, lt)
+		if err != nil {
+			return nil, fmt.Errorf("treejoin: line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("treejoin: reading trees: %w", err)
+	}
+	return out, nil
+}
+
+// WriteDataset encodes lt and ts in the compact binary dataset format
+// (varint-encoded structure plus a CRC trailer) — the fast way to store and
+// reload large collections. Every tree must use lt as its label table.
+func WriteDataset(w io.Writer, lt *LabelTable, ts []*Tree) error {
+	return dataset.Write(w, lt, ts)
+}
+
+// ReadDataset decodes a binary dataset written by WriteDataset. Decoding
+// verifies the checksum; corrupt or truncated input is reported as an
+// error, never as wrong trees.
+func ReadDataset(r io.Reader) (*LabelTable, []*Tree, error) { return dataset.Read(r) }
+
+// WriteDatasetFile is WriteDataset to a file path.
+func WriteDatasetFile(path string, lt *LabelTable, ts []*Tree) error {
+	return dataset.WriteFile(path, lt, ts)
+}
+
+// ReadDatasetFile is ReadDataset from a file path.
+func ReadDatasetFile(path string) (*LabelTable, []*Tree, error) { return dataset.ReadFile(path) }

@@ -1,0 +1,80 @@
+package treejoin_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"treejoin"
+)
+
+func TestReadNewickLines(t *testing.T) {
+	in := `# species trees
+(A,B)C;
+(A,(B,D)E)F;
+
+# blank lines and comments are skipped
+G;
+`
+	lt := treejoin.NewLabelTable()
+	ts, err := treejoin.ReadNewickLines(strings.NewReader(in), lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("got %d trees", len(ts))
+	}
+	if got := treejoin.FormatNewick(ts[1]); got != "(A,(B,D)E)F;" {
+		t.Fatalf("tree 1 = %q", got)
+	}
+	if _, err := treejoin.ReadNewickLines(strings.NewReader("(A,B;\n"), lt); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestDatasetRoundTripPublic(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	ts := []*treejoin.Tree{
+		treejoin.MustParseBracket("{a{b}{c}}", lt),
+		treejoin.MustParseBracket("{d{e{f}}}", lt),
+	}
+	var buf bytes.Buffer
+	if err := treejoin.WriteDataset(&buf, lt, ts); err != nil {
+		t.Fatal(err)
+	}
+	_, ts2, err := treejoin.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts2) != 2 {
+		t.Fatalf("got %d trees", len(ts2))
+	}
+	for i := range ts {
+		if treejoin.FormatBracket(ts[i]) != treejoin.FormatBracket(ts2[i]) {
+			t.Fatalf("tree %d changed", i)
+		}
+	}
+	// Joining the decoded collection works (labels re-interned consistently).
+	pairs, _ := treejoin.SelfJoin(ts2, 10)
+	if len(pairs) != 1 {
+		t.Fatalf("join on decoded trees: %d pairs", len(pairs))
+	}
+}
+
+func TestNewickDotBracketPublic(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	nw := treejoin.MustParseNewick("(A,B)C;", lt)
+	if nw.Size() != 3 {
+		t.Fatalf("newick size %d", nw.Size())
+	}
+	db, err := treejoin.ParseDotBracket("((.))", "GGACC", lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() != 4 { // root + 2 pairs + 1 base
+		t.Fatalf("dotbracket size %d", db.Size())
+	}
+	if _, err := treejoin.ParseDotBracket("((", "", lt); err == nil {
+		t.Fatal("unbalanced accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package treejoin
+
+import (
+	"fmt"
+
+	"treejoin/internal/baseline"
+	"treejoin/internal/core"
+	"treejoin/internal/sim"
+)
+
+// Method selects the join algorithm. All methods return identical result
+// sets; they differ in filtering strategy and therefore speed.
+type Method int
+
+const (
+	// MethodPartSJ is the paper's partition-based join (PRT): the default
+	// and fastest method.
+	MethodPartSJ Method = iota
+	// MethodSTR filters with preorder/postorder traversal-string edit
+	// distance lower bounds (Guha et al.).
+	MethodSTR
+	// MethodSET filters with the binary branch distance (Yang et al.).
+	MethodSET
+	// MethodBruteForce verifies every pair within the size window. The
+	// ground-truth oracle; use only on small collections.
+	MethodBruteForce
+	// MethodHistogram filters with statistic lower bounds — leaf count,
+	// height, label and degree histograms (Kailing et al.).
+	MethodHistogram
+	// MethodEulerString filters with the Euler-tour string edit distance
+	// lower bound, sed(E1,E2) ≤ 2·TED (Akutsu et al.).
+	MethodEulerString
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodPartSJ:
+		return "PRT"
+	case MethodSTR:
+		return "STR"
+	case MethodSET:
+		return "SET"
+	case MethodBruteForce:
+		return "BF"
+	case MethodHistogram:
+		return "HIST"
+	case MethodEulerString:
+		return "EUL"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+type config struct {
+	method   Method
+	workers  int
+	shards   int
+	position core.PositionFilter
+	randPart bool
+	hybrid   bool
+	seed     int64
+}
+
+// Option customises a join call.
+type Option func(*config)
+
+// WithMethod selects the join algorithm (default MethodPartSJ).
+func WithMethod(m Method) Option { return func(c *config) { c.method = m } }
+
+// WithWorkers verifies candidate pairs on n parallel goroutines (default 1,
+// sequential). Candidate generation itself is sequential in every method
+// unless WithShards is also given.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithShards decomposes a PartSJ self-join into n intra-shard joins plus the
+// necessary cross-shard joins (fragment-and-replicate over the size-sorted
+// order) and runs the independent tasks on the WithWorkers pool — the
+// paper's §6 parallel/distributed direction. Results are identical to the
+// sequential join; total filtering work is higher (each task builds its own
+// index), wall-clock time lower once verification no longer dominates.
+// Applies to SelfJoin with MethodPartSJ only.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithPaperPositionRanges makes PartSJ use the paper's τ−⌊k/2⌋ postorder
+// pruning ranges instead of the proven-sound ±τ default. Slightly fewer
+// candidates, but completeness is not guaranteed in adversarial corner cases;
+// see DESIGN.md.
+func WithPaperPositionRanges() Option {
+	return func(c *config) { c.position = core.PositionPaper }
+}
+
+// WithoutPositionFilter disables PartSJ's postorder pruning layer (label
+// grouping only). Exposed for ablation experiments.
+func WithoutPositionFilter() Option {
+	return func(c *config) { c.position = core.PositionOff }
+}
+
+// WithRandomPartitions replaces PartSJ's balanced MaxMinSize partitioning by
+// uniformly random bridging edges (seeded by seed). Exposed for the
+// partitioning-scheme ablation; the join remains correct, only slower.
+func WithRandomPartitions(seed int64) Option {
+	return func(c *config) { c.randPart = true; c.seed = seed }
+}
+
+// WithHybridVerification screens PartSJ's candidate pairs with the τ-banded
+// traversal-string lower bounds before computing the exact TED. Results are
+// identical; verification is typically much faster when the collection
+// contains many just-over-threshold near-duplicates. An extension beyond the
+// paper (whose PRT verifies with RTED directly); applies to SelfJoin and
+// Join with MethodPartSJ.
+func WithHybridVerification() Option {
+	return func(c *config) { c.hybrid = true }
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c config) coreOptions(tau int) core.Options {
+	return core.Options{
+		Tau:             tau,
+		Position:        c.position,
+		RandomPartition: c.randPart,
+		HybridVerify:    c.hybrid,
+		Seed:            c.seed,
+		Workers:         c.workers,
+	}
+}
+
+// SelfJoin reports every unordered pair of trees in ts whose tree edit
+// distance is at most tau, in ascending (I, J) order. All trees must share
+// one LabelTable.
+func SelfJoin(ts []*Tree, tau int, opts ...Option) ([]Pair, Stats) {
+	if tau < 0 {
+		panic(fmt.Sprintf("treejoin: negative threshold %d", tau))
+	}
+	c := buildConfig(opts)
+	var pairs []sim.Pair
+	var st *sim.Stats
+	switch c.method {
+	case MethodSTR:
+		pairs, st = baseline.STR(ts, baseline.Options{Tau: tau, Workers: c.workers})
+	case MethodSET:
+		pairs, st = baseline.SET(ts, baseline.Options{Tau: tau, Workers: c.workers})
+	case MethodBruteForce:
+		pairs, st = baseline.BruteForce(ts, baseline.Options{Tau: tau, Workers: c.workers})
+	case MethodHistogram:
+		pairs, st = baseline.HIST(ts, baseline.Options{Tau: tau, Workers: c.workers})
+	case MethodEulerString:
+		pairs, st = baseline.EUL(ts, baseline.Options{Tau: tau, Workers: c.workers})
+	default:
+		if c.shards > 1 {
+			pairs, st = core.ShardedSelfJoin(ts, c.shards, c.coreOptions(tau))
+		} else {
+			pairs, st = core.SelfJoin(ts, c.coreOptions(tau))
+		}
+	}
+	return pairs, *st
+}
+
+// Join reports every cross pair (a ∈ A, b ∈ B) within distance tau; Pair.I
+// indexes into a and Pair.J into b. Only MethodPartSJ supports cross joins.
+// Both collections must share one LabelTable.
+func Join(a, b []*Tree, tau int, opts ...Option) ([]Pair, Stats) {
+	if tau < 0 {
+		panic(fmt.Sprintf("treejoin: negative threshold %d", tau))
+	}
+	c := buildConfig(opts)
+	if c.method != MethodPartSJ {
+		panic("treejoin: Join supports MethodPartSJ only")
+	}
+	pairs, st := core.Join(a, b, c.coreOptions(tau))
+	return pairs, *st
+}
+
+// Incremental is a streaming similarity join: trees are added one at a time,
+// in any order, and each Add returns the new tree's partners among all
+// previously added trees. This serves the paper's closing motivation —
+// "streaming workloads where tree objects are inserted and updated at a high
+// rate" — with the same PartSJ index built incrementally.
+type Incremental struct {
+	inner *core.Incremental
+}
+
+// NewIncremental returns an empty streaming join with threshold tau.
+func NewIncremental(tau int, opts ...Option) *Incremental {
+	if tau < 0 {
+		panic(fmt.Sprintf("treejoin: negative threshold %d", tau))
+	}
+	c := buildConfig(opts)
+	return &Incremental{inner: core.NewIncremental(c.coreOptions(tau))}
+}
+
+// Add inserts t and returns all pairs (existing index, new index) within the
+// threshold. The new tree's index is Len()-1 after the call.
+func (inc *Incremental) Add(t *Tree) []Pair { return inc.inner.Add(t) }
+
+// Remove deletes the i-th tree from the stream: it no longer appears in the
+// results of later Add calls. Positions are stable. Removing an out-of-range
+// or already-removed position reports false.
+func (inc *Incremental) Remove(i int) bool { return inc.inner.Remove(i) }
+
+// Update replaces the i-th tree with t (Remove followed by Add): it returns
+// the replacement's new position and its join partners among the live trees.
+func (inc *Incremental) Update(i int, t *Tree) (int, []Pair) { return inc.inner.Update(i, t) }
+
+// Len returns the number of trees added so far, including removed ones.
+func (inc *Incremental) Len() int { return inc.inner.Len() }
+
+// Live returns the number of trees added and not yet removed.
+func (inc *Incremental) Live() int { return inc.inner.Live() }
+
+// Tree returns the i-th added tree, or nil if it has been removed.
+func (inc *Incremental) Tree(i int) *Tree { return inc.inner.Tree(i) }
+
+// Stats returns a snapshot of the accumulated execution statistics.
+func (inc *Incremental) Stats() Stats { return inc.inner.Stats() }

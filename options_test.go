@@ -1,0 +1,103 @@
+package treejoin_test
+
+import (
+	"strings"
+	"testing"
+
+	"treejoin"
+	"treejoin/internal/synth"
+)
+
+func TestNegativeTauPanics(t *testing.T) {
+	cases := []func(){
+		func() { treejoin.SelfJoin(nil, -1) },
+		func() { treejoin.Join(nil, nil, -2) },
+		func() { treejoin.NewIncremental(-1) },
+		func() { treejoin.NewIndex(nil, -3) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on negative tau", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestJoinRejectsBaselineMethods(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Join with MethodSTR should panic")
+		}
+	}()
+	treejoin.Join(nil, nil, 1, treejoin.WithMethod(treejoin.MethodSTR))
+}
+
+func TestUnknownMethodString(t *testing.T) {
+	if s := treejoin.Method(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("Method(99) = %q", s)
+	}
+}
+
+func TestHybridAndWorkersComposable(t *testing.T) {
+	ts := synth.Synthetic(60, 51)
+	ref, _ := treejoin.SelfJoin(ts, 2)
+	got, _ := treejoin.SelfJoin(ts, 2,
+		treejoin.WithHybridVerification(), treejoin.WithWorkers(4))
+	if len(got) != len(ref) {
+		t.Fatalf("composed options changed results: %d vs %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestIncrementalHybrid(t *testing.T) {
+	ts := synth.Synthetic(50, 53)
+	plain := treejoin.NewIncremental(2)
+	hybrid := treejoin.NewIncremental(2, treejoin.WithHybridVerification())
+	var nPlain, nHybrid int
+	for _, tr := range ts {
+		nPlain += len(plain.Add(tr))
+		nHybrid += len(hybrid.Add(tr))
+	}
+	if nPlain != nHybrid {
+		t.Fatalf("hybrid incremental differs: %d vs %d", nPlain, nHybrid)
+	}
+	if plain.Tree(0) != ts[0] {
+		t.Fatal("Tree accessor wrong")
+	}
+}
+
+func TestMeasureExported(t *testing.T) {
+	ts := synth.Synthetic(30, 3)
+	s := treejoin.Measure(ts)
+	if s.Trees != 30 || s.AvgSize <= 0 {
+		t.Fatalf("Measure = %+v", s)
+	}
+}
+
+func TestWriteBracketLinesError(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	ts := []*treejoin.Tree{treejoin.MustParseBracket("{a{b}}", lt)}
+	if err := treejoin.WriteBracketLines(failingWriter{}, ts); err == nil {
+		t.Fatal("write error not propagated")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "synthetic write failure" }

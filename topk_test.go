@@ -1,0 +1,213 @@
+package treejoin_test
+
+import (
+	"testing"
+
+	"treejoin"
+)
+
+func TestPublicTopK(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	ts := []*treejoin.Tree{
+		treejoin.MustParseBracket("{album{title{Blue}}{year{1971}}}", lt),
+		treejoin.MustParseBracket("{album{title{Blue!}}{year{1971}}}", lt),
+		treejoin.MustParseBracket("{album{title{Red}}{year{1980}}{label{X}}}", lt),
+		treejoin.MustParseBracket("{book{title{Blue}}}", lt),
+	}
+	got := treejoin.TopK(ts, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d pairs", len(got))
+	}
+	if got[0].I != 0 || got[0].J != 1 || got[0].Dist != 1 {
+		t.Fatalf("closest pair = %+v", got[0])
+	}
+	if got[1].Dist < got[0].Dist {
+		t.Fatalf("pairs unsorted: %+v", got)
+	}
+	// TopK agrees with a SelfJoin at the distance of its worst pair.
+	pairs, _ := treejoin.SelfJoin(ts, got[1].Dist)
+	found := 0
+	for _, p := range pairs {
+		if p == got[0] || p == got[1] {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("TopK pairs missing from SelfJoin result: %v vs %v", got, pairs)
+	}
+}
+
+func TestPublicKNN(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	ts := []*treejoin.Tree{
+		treejoin.MustParseBracket("{a{b}{c}}", lt),
+		treejoin.MustParseBracket("{a{b}{c}{d}}", lt),
+		treejoin.MustParseBracket("{x{y{z}}}", lt),
+	}
+	knn := treejoin.NewKNN(ts)
+	if knn.Len() != 3 {
+		t.Fatalf("Len = %d", knn.Len())
+	}
+	q := treejoin.MustParseBracket("{a{b}{c}{e}}", lt)
+	ms := knn.Nearest(q, 2)
+	if len(ms) != 2 {
+		t.Fatalf("got %d matches", len(ms))
+	}
+	// Both neighbours are at distance 1 (delete e, resp. rename e→d), so the
+	// (Dist, Pos) order puts position 0 first.
+	if ms[0].Pos != 0 || ms[0].Dist != 1 {
+		t.Fatalf("nearest = %+v", ms[0])
+	}
+	if ms[1].Pos != 1 || ms[1].Dist != 1 {
+		t.Fatalf("second = %+v", ms[1])
+	}
+	if treejoin.FormatBracket(knn.Tree(2)) != "{x{y{z}}}" {
+		t.Fatalf("Tree(2) = %s", treejoin.FormatBracket(knn.Tree(2)))
+	}
+}
+
+func TestPublicConstrainedDistance(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	a := treejoin.MustParseBracket("{a{b{c}}}", lt)
+	b := treejoin.MustParseBracket("{a{c}}", lt)
+	if d := treejoin.ConstrainedDistance(a, b); d != 1 {
+		t.Fatalf("CTED = %d, want 1", d)
+	}
+	if d := treejoin.Distance(a, b); d != 1 {
+		t.Fatalf("TED = %d, want 1", d)
+	}
+	costs := treejoin.WeightedCosts{DeleteCost: 2, InsertCost: 2, RenameCost: 1}
+	if d := treejoin.ConstrainedDistanceWithCosts(a, b, costs); d != 2 {
+		t.Fatalf("weighted CTED = %d, want 2", d)
+	}
+}
+
+func TestPublicExtraMethods(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	ts := []*treejoin.Tree{
+		treejoin.MustParseBracket("{a{b}{c}}", lt),
+		treejoin.MustParseBracket("{a{b}{c}{d}}", lt),
+		treejoin.MustParseBracket("{a{b}{x}}", lt),
+		treejoin.MustParseBracket("{q{r{s{t{u}}}}}", lt),
+	}
+	want, _ := treejoin.SelfJoin(ts, 2)
+	for _, m := range []treejoin.Method{treejoin.MethodHistogram, treejoin.MethodEulerString} {
+		got, _ := treejoin.SelfJoin(ts, 2, treejoin.WithMethod(m))
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d pairs, want %d", m, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: pair %d = %v, want %v", m, i, got[i], want[i])
+			}
+		}
+	}
+	if treejoin.MethodHistogram.String() != "HIST" || treejoin.MethodEulerString.String() != "EUL" {
+		t.Fatal("method names")
+	}
+}
+
+func TestPublicSubtreeSearch(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	data := treejoin.MustParseBracket("{html{body{div{p}{p}}{div{p}{ul{li}}}}}", lt)
+	query := treejoin.MustParseBracket("{div{p}{p}}", lt)
+	ms := treejoin.SubtreeSearch(data, query, 0)
+	if len(ms) != 1 || ms[0].Dist != 0 {
+		t.Fatalf("exact search: %v", ms)
+	}
+	if got := treejoin.FormatBracket(treejoin.SubtreeAt(data, ms[0].Root)); got != "{div{p}{p}}" {
+		t.Fatalf("matched subtree %s", got)
+	}
+	best := treejoin.SubtreeSearchBest(data, query, 2)
+	if len(best) != 2 || best[0].Dist != 0 || best[1].Dist > 2 {
+		t.Fatalf("top-2: %v", best)
+	}
+}
+
+func TestPublicIncrementalRemove(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	inc := treejoin.NewIncremental(1)
+	inc.Add(treejoin.MustParseBracket("{a{b}}", lt))
+	if !inc.Remove(0) || inc.Remove(0) {
+		t.Fatal("remove semantics")
+	}
+	pos, pairs := inc.Update(0, treejoin.MustParseBracket("{a{c}}", lt))
+	if pos != 1 || len(pairs) != 0 {
+		t.Fatalf("update: pos=%d pairs=%v", pos, pairs)
+	}
+	if inc.Live() != 1 || inc.Len() != 2 {
+		t.Fatalf("Live=%d Len=%d", inc.Live(), inc.Len())
+	}
+	got := inc.Add(treejoin.MustParseBracket("{a{c}}", lt))
+	if len(got) != 1 || got[0].I != 1 {
+		t.Fatalf("add after update: %v", got)
+	}
+}
+
+func TestPublicTransform(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	a := treejoin.MustParseBracket("{a{b}{c}}", lt)
+	b := treejoin.MustParseBracket("{a{b}{d}{e}}", lt)
+	steps, err := treejoin.Transform(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != treejoin.Distance(a, b)+1 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	if got := treejoin.FormatBracket(steps[len(steps)-1]); got != treejoin.FormatBracket(b) {
+		t.Fatalf("morph ends at %s", got)
+	}
+	for i := 1; i < len(steps); i++ {
+		if d := treejoin.Distance(steps[i-1], steps[i]); d != 1 {
+			t.Fatalf("step %d at distance %d", i, d)
+		}
+	}
+}
+
+func TestPublicCanonicalize(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	a := treejoin.MustParseBracket("{item{price{9}}{name{kettle}}}", lt)
+	b := treejoin.MustParseBracket("{item{name{kettle}}{price{9}}}", lt)
+	if treejoin.Distance(a, b) == 0 {
+		t.Fatal("ordered distance should separate the reordered records")
+	}
+	if !treejoin.EqualUnordered(a, b) {
+		t.Fatal("EqualUnordered rejected a field reorder")
+	}
+	ca, cb := treejoin.Canonicalize(a), treejoin.Canonicalize(b)
+	if treejoin.Distance(ca, cb) != 0 {
+		t.Fatalf("canonical forms differ: %s vs %s",
+			treejoin.FormatBracket(ca), treejoin.FormatBracket(cb))
+	}
+	// Canonicalise-then-join finds the unordered duplicate pair.
+	pairs, _ := treejoin.SelfJoin([]*treejoin.Tree{ca, cb}, 0)
+	if len(pairs) != 1 {
+		t.Fatalf("join on canonical forms: %v", pairs)
+	}
+}
+
+func TestPublicShardedJoin(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	var ts []*treejoin.Tree
+	for i := 0; i < 24; i++ {
+		b := treejoin.NewBuilder(lt)
+		r := b.Root("r")
+		c := b.Child(r, string(rune('a'+i%4)))
+		b.Child(c, string(rune('a'+i%3)))
+		if i%2 == 0 {
+			b.Child(r, "x")
+		}
+		ts = append(ts, b.MustBuild())
+	}
+	want, _ := treejoin.SelfJoin(ts, 2)
+	got, _ := treejoin.SelfJoin(ts, 2, treejoin.WithShards(4), treejoin.WithWorkers(4))
+	if len(got) != len(want) {
+		t.Fatalf("sharded: %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sharded pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
