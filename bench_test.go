@@ -255,6 +255,59 @@ func BenchmarkTransform(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineParallelCandidates — the engine's parallel candidate
+// generation: the sorted probe loop sharded across the WithWorkers pool, on
+// a filter-heavy method (EUL's banded string comparisons) over a 1000-tree
+// corpus at τ = 1, where candidate generation dominates end to end. The
+// sequential/parallel ns/op ratio is the engine's candidate-generation
+// speedup (verification is parallelised identically in both runs). Baseline
+// numbers are recorded in BENCH_engine.json.
+func BenchmarkEngineParallelCandidates(b *testing.B) {
+	ts := synth.Synthetic(1000, 1)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var st treejoin.Stats
+			for i := 0; i < b.N; i++ {
+				_, st = treejoin.SelfJoin(ts, 1,
+					treejoin.WithMethod(treejoin.MethodEulerString),
+					treejoin.WithWorkers(workers))
+			}
+			b.ReportMetric(float64(st.Candidates), "cand/op")
+		})
+	}
+}
+
+// BenchmarkEngineFilterChain — the filter-chain ablation: each method alone
+// versus the same method with the cheap HIST statistics screen chained in
+// front of it via the engine pipeline (cf. the benchfig "pipeline" figure).
+func BenchmarkEngineFilterChain(b *testing.B) {
+	ts := synth.Synthetic(300, 1)
+	const tau = 2
+	for _, m := range []bench.Method{
+		bench.PRT, bench.PRTHist, bench.STR, bench.STRHist, bench.PQG, bench.PQGHist,
+	} {
+		b.Run(string(m), func(b *testing.B) {
+			runJoin(b, m, "Synthetic", ts, tau)
+		})
+	}
+}
+
+// BenchmarkEngineCrossJoin — cross joins through the one engine loop, per
+// method (historically only PartSJ could run these at all).
+func BenchmarkEngineCrossJoin(b *testing.B) {
+	ts := synth.Synthetic(400, 1)
+	a, c := ts[:200], ts[200:]
+	for _, m := range []treejoin.Method{
+		treejoin.MethodPartSJ, treejoin.MethodHistogram, treejoin.MethodPQGram,
+	} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				treejoin.Join(a, c, 2, treejoin.WithMethod(m))
+			}
+		})
+	}
+}
+
 // BenchmarkSubtreeSearch — similarity search inside one large tree, with
 // and without the traversal-string screens engaged (τ sweep).
 func BenchmarkSubtreeSearch(b *testing.B) {

@@ -7,7 +7,7 @@
 //	benchfig -figure all -scale 0.01 -seed 1 [-workers 4] [-markdown] [-v]
 //
 // -figure selects one of: 10, 11, 12, 13, 14, ablation, position, verify,
-// panorama, all
+// panorama, pipeline, all
 // (Figures 10/11 share runs, as do 12/13, so asking for either member of a
 // pair runs both and prints the requested one).
 // -scale multiplies the paper's collection cardinalities (100K/50K/10K/10K).
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "10|11|12|13|14|ablation|position|verify|panorama|all")
+		figure   = flag.String("figure", "all", "10|11|12|13|14|ablation|position|verify|panorama|pipeline|all")
 		scale    = flag.Float64("scale", 0.01, "fraction of the paper's dataset cardinalities")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		workers  = flag.Int("workers", 0, "parallel TED verification workers (0 = sequential)")
@@ -73,6 +73,8 @@ func main() {
 		render(bench.AblationVerification(cfg))
 	case "panorama":
 		render(bench.BaselinePanorama(cfg))
+	case "pipeline":
+		render(bench.FilterPipeline(cfg))
 	case "all":
 		rt10, ct11 := bench.Figure10And11(cfg)
 		render(rt10...)
@@ -87,6 +89,7 @@ func main() {
 		render(bench.AblationPosition(cfg))
 		render(bench.AblationVerification(cfg))
 		render(bench.BaselinePanorama(cfg))
+		render(bench.FilterPipeline(cfg))
 	default:
 		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *figure)
 		flag.Usage()

@@ -1,20 +1,24 @@
-// Command treejoin runs a tree similarity self-join over a dataset file and
+// Command treejoin runs a tree similarity join over a dataset file and
 // prints the matching pairs.
 //
 // Usage:
 //
-//	treejoin -input trees.txt -tau 2 [-method PRT|STR|SET|BF|HIST|EUL]
-//	         [-workers 4] [-shards 4] [-format bracket|newick|binary]
-//	         [-stats] [-quiet]
+//	treejoin -input trees.txt -tau 2 [-method PRT|STR|SET|BF|HIST|EUL|PQG]
+//	         [-prefilter HIST,SET] [-workers 4] [-shards 4]
+//	         [-format bracket|newick|binary] [-stats] [-quiet]
+//	treejoin -input a.txt -other b.txt -tau 2
 //	treejoin -input trees.txt -topk 10
 //
 // The dataset holds one tree per line (bracket or Newick notation) or is a
 // binary dataset written by datagen -format binary; -format auto-detects
 // from the extension (.tjds → binary, .nwk/.newick/.tree → newick). Each
 // output line is "i<TAB>j<TAB>dist" (0-based positions of the two trees).
-// With -topk K the threshold is ignored and the K closest pairs are printed
-// instead. With -stats, a summary of where the join spent its time follows
-// on stderr.
+// With -other B the join is the cross join of the two files (i indexes
+// -input, j indexes -other; text formats only, so the files share a label
+// table). With -prefilter, the named filter stages run in front of the
+// method, and -stats attributes the pruning per stage. With -topk K the
+// threshold is ignored and the K closest pairs are printed instead. With
+// -stats, a summary of where the join spent its time follows on stderr.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"treejoin"
 	"treejoin/internal/cli"
@@ -29,15 +34,17 @@ import (
 
 func main() {
 	var (
-		input   = flag.String("input", "", "dataset file (required)")
-		format  = flag.String("format", "auto", "input format: bracket, newick, binary, or auto")
-		tau     = flag.Int("tau", 1, "TED threshold τ ≥ 0")
-		topk    = flag.Int("topk", 0, "report the K closest pairs instead of a threshold join")
-		method  = flag.String("method", "PRT", "join method: PRT, STR, SET, BF, HIST, or EUL")
-		workers = flag.Int("workers", 0, "parallel TED verification workers")
-		shards  = flag.Int("shards", 0, "decompose the PRT join into fragment-and-replicate shards")
-		stats   = flag.Bool("stats", false, "print execution statistics to stderr")
-		quiet   = flag.Bool("quiet", false, "suppress pair output (useful with -stats)")
+		input     = flag.String("input", "", "dataset file (required)")
+		other     = flag.String("other", "", "second dataset file: cross join -input against -other")
+		format    = flag.String("format", "auto", "input format: bracket, newick, binary, or auto")
+		tau       = flag.Int("tau", 1, "TED threshold τ ≥ 0")
+		topk      = flag.Int("topk", 0, "report the K closest pairs instead of a threshold join")
+		method    = flag.String("method", "PRT", "join method: PRT, STR, SET, BF, HIST, EUL, or PQG")
+		prefilter = flag.String("prefilter", "", "comma-separated filter stages to chain in front of the method (HIST, STR, SET, EUL, PQG)")
+		workers   = flag.Int("workers", 0, "parallel candidate-generation and TED-verification workers")
+		shards    = flag.Int("shards", 0, "decompose the PRT join into fragment-and-replicate shards")
+		stats     = flag.Bool("stats", false, "print execution statistics to stderr")
+		quiet     = flag.Bool("quiet", false, "suppress pair output (useful with -stats)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -62,11 +69,13 @@ func main() {
 		m = treejoin.MethodHistogram
 	case "EUL":
 		m = treejoin.MethodEulerString
+	case "PQG":
+		m = treejoin.MethodPQGram
 	default:
-		fail("unknown method %q (want PRT, STR, SET, BF, HIST, or EUL)", *method)
+		fail("unknown method %q (want PRT, STR, SET, BF, HIST, EUL, or PQG)", *method)
 	}
 
-	ts, _, err := cli.Load(*input, *format, nil)
+	ts, lt, err := cli.Load(*input, *format, nil)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -74,12 +83,55 @@ func main() {
 	if *shards > 1 {
 		opts = append(opts, treejoin.WithShards(*shards))
 	}
+	if *prefilter != "" {
+		var fs []treejoin.Prefilter
+		for _, name := range strings.Split(*prefilter, ",") {
+			switch strings.TrimSpace(name) {
+			case "HIST":
+				fs = append(fs, treejoin.PrefilterHistogram)
+			case "STR":
+				fs = append(fs, treejoin.PrefilterSTR)
+			case "SET":
+				fs = append(fs, treejoin.PrefilterSET)
+			case "EUL":
+				fs = append(fs, treejoin.PrefilterEulerString)
+			case "PQG":
+				fs = append(fs, treejoin.PrefilterPQGram)
+			default:
+				fail("unknown prefilter %q (want HIST, STR, SET, EUL, or PQG)", name)
+			}
+		}
+		opts = append(opts, treejoin.WithPrefilter(fs...))
+	}
 
 	var pairs []treejoin.Pair
 	var st treejoin.Stats
-	if *topk > 0 {
+	switch {
+	case *other != "":
+		if *topk > 0 {
+			fail("-topk does not combine with -other")
+		}
+		// The two text files must intern into one label table; the binary
+		// format carries its own table and cannot be aligned here.
+		if f, _ := cli.DetectFormat(*other, *format); f == cli.FormatBinary {
+			fail("-other requires a text format (shared label table)")
+		}
+		bs, _, err := cli.Load(*other, *format, lt)
+		if err != nil {
+			fail("%v", err)
+		}
+		pairs, st = treejoin.Join(ts, bs, *tau, opts...)
+	case *topk > 0:
+		// TopK runs expanding-threshold PartSJ passes; reject flags it would
+		// silently ignore rather than pretend they took effect.
+		if *method != "PRT" {
+			fail("-topk supports -method PRT only")
+		}
+		if *prefilter != "" {
+			fail("-topk does not combine with -prefilter")
+		}
 		pairs = treejoin.TopK(ts, *topk, opts...)
-	} else {
+	default:
 		pairs, st = treejoin.SelfJoin(ts, *tau, opts...)
 	}
 
@@ -93,13 +145,17 @@ func main() {
 		}
 	}
 	if *stats && *topk == 0 {
-		fmt.Fprintf(os.Stderr, "trees:       %d\n", len(ts))
+		fmt.Fprintf(os.Stderr, "trees:       %d\n", st.Trees)
 		fmt.Fprintf(os.Stderr, "method:      %s, tau=%d\n", m, *tau)
 		fmt.Fprintf(os.Stderr, "candidates:  %d\n", st.Candidates)
 		fmt.Fprintf(os.Stderr, "results:     %d\n", st.Results)
 		fmt.Fprintf(os.Stderr, "candgen:     %v\n", st.CandTime+st.PartitionTime)
 		fmt.Fprintf(os.Stderr, "verify:      %v\n", st.VerifyTime)
 		fmt.Fprintf(os.Stderr, "total:       %v\n", st.Total())
+		for _, stage := range st.Stages {
+			fmt.Fprintf(os.Stderr, "stage %-6s %d in, %d pruned, %d out\n",
+				stage.Name+":", stage.In, stage.Pruned, stage.Out())
+		}
 		if st.IndexedSubgraphs > 0 {
 			fmt.Fprintf(os.Stderr, "subgraphs:   %d indexed, %d probes, %d match tests (%d hits)\n",
 				st.IndexedSubgraphs, st.SubgraphProbes, st.MatchTests, st.MatchHits)

@@ -82,7 +82,7 @@ func TestCLIPipeline(t *testing.T) {
 	want, _ := treejoin.SelfJoin(ts, 2)
 
 	for _, input := range []string{txt, bin} {
-		for _, method := range []string{"PRT", "STR", "SET", "HIST", "EUL"} {
+		for _, method := range []string{"PRT", "STR", "SET", "HIST", "EUL", "PQG"} {
 			stdout, _, err := runTool(t, "treejoin", "-input", input, "-tau", "2", "-method", method)
 			if err != nil {
 				t.Fatalf("treejoin %s %s: %v", input, method, err)
@@ -101,6 +101,35 @@ func TestCLIPipeline(t *testing.T) {
 	}
 	if got := nonEmptyLines(stdout); len(got) != len(want) {
 		t.Fatalf("sharded: %d pairs, want %d", len(got), len(want))
+	}
+
+	// A prefilter chain leaves the result set unchanged and reports its
+	// stages in -stats output.
+	stdout, stderrOut, err := runTool(t, "treejoin", "-input", txt, "-tau", "2",
+		"-prefilter", "HIST,PQG", "-stats")
+	if err != nil {
+		t.Fatalf("prefilter: %v", err)
+	}
+	if got := nonEmptyLines(stdout); len(got) != len(want) {
+		t.Fatalf("prefilter: %d pairs, want %d", len(got), len(want))
+	}
+	if !strings.Contains(stderrOut, "stage HIST") || !strings.Contains(stderrOut, "stage PQG") {
+		t.Fatalf("prefilter stats missing stage lines:\n%s", stderrOut)
+	}
+
+	// Cross join of the file against itself: every self-join pair appears
+	// (plus the diagonal and mirrored pairs).
+	stdout, _, err = runTool(t, "treejoin", "-input", txt, "-other", txt, "-tau", "2", "-method", "EUL")
+	if err != nil {
+		t.Fatalf("cross: %v", err)
+	}
+	crossLines := nonEmptyLines(stdout)
+	ts2, err := treejoin.ReadBracketFile(txt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantCross := 2*len(want) + len(ts2); len(crossLines) != wantCross {
+		t.Fatalf("cross self×self: %d pairs, want %d", len(crossLines), wantCross)
 	}
 
 	// TopK prints exactly K lines when enough pairs exist.

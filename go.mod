@@ -1,0 +1,3 @@
+module treejoin
+
+go 1.24

@@ -1,5 +1,5 @@
 // Package baseline implements the competitors the paper evaluates PartSJ
-// against (§2, §4):
+// against (§2, §4) plus the survey's other lower-bound filters:
 //
 //   - BruteForce: nested loop with only the size filter — the ground-truth
 //     oracle and the source of the REL series in Figures 11/13.
@@ -8,22 +8,20 @@
 //     bounds — exceeds τ.
 //   - SET (Yang et al. [27]): prunes a pair when the binary branch distance
 //     exceeds 5τ, using BIB(T1,T2) ≤ 5·TED(T1,T2).
+//   - HIST (Kailing et al. [16]): statistic-histogram lower bounds.
+//   - EUL (Akutsu et al. [1]): the Euler-string edit distance bound.
 //
-// All three run the indexed-nested-loop shape the paper describes: trees
-// sorted by size, each tree compared against the preceding trees within the
-// τ size window, surviving pairs verified with the shared TED verifier.
+// Every method is a thin constructor over the shared pipeline engine: the
+// sorted nested loop enumerates size-compatible pairs, the method's filter —
+// exposed as an engine.PairFilter in filters.go so any join can chain it as
+// a prefilter — prunes them, and survivors go to the shared TED verifier.
 package baseline
 
 import (
-	"time"
-
+	"treejoin/internal/engine"
 	"treejoin/internal/sim"
 	"treejoin/internal/tree"
 )
-
-// filterFunc decides whether the pair (i, j) survives a method's filter and
-// becomes a TED candidate.
-type filterFunc func(i, j int) bool
 
 // Options configures a baseline join.
 type Options struct {
@@ -32,37 +30,44 @@ type Options struct {
 	Workers  int
 }
 
-// run executes the common sorted nested loop: every unordered pair within the
-// size window is offered to filter; survivors are verified.
-func run(ts []*tree.Tree, opts Options, prep func(stats *sim.Stats) filterFunc) ([]sim.Pair, *sim.Stats) {
-	stats := &sim.Stats{Trees: len(ts)}
-	start := time.Now()
-	filter := prep(stats)
-	order := sim.SizeOrder(ts)
-	var cands []sim.Candidate
-	lo := 0
-	for pi, ti := range order {
-		sz := ts[ti].Size()
-		for lo < pi && ts[order[lo]].Size() < sz-opts.Tau {
-			lo++
-		}
-		for k := lo; k < pi; k++ {
-			tj := order[k]
-			if filter == nil || filter(ti, tj) {
-				cands = append(cands, sim.Candidate{I: ti, J: tj})
-			}
-		}
+// job assembles the engine job shared by all baselines: the sorted nested
+// loop feeding the given filter chain.
+func (o Options) job(filters ...engine.PairFilter) engine.Job {
+	return engine.Job{
+		Source:   engine.SortedLoop(),
+		Filters:  filters,
+		Tau:      o.Tau,
+		Verifier: o.Verifier,
+		Workers:  o.Workers,
 	}
-	stats.CandTime += time.Since(start)
-	results := sim.VerifyAll(ts, cands, opts.Tau, opts.Verifier, opts.Workers, stats)
-	sim.SortPairs(results)
-	stats.Results = int64(len(results))
-	return results, stats
 }
 
 // BruteForce joins ts with only the size filter: every pair within the τ size
 // window is verified. It is the correctness oracle for all other methods and
 // its result count is the paper's REL series.
 func BruteForce(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
-	return run(ts, opts, func(*sim.Stats) filterFunc { return nil })
+	return opts.job().SelfJoin(ts)
+}
+
+// STR joins ts using the traversal-string lower bounds of Guha et al.; see
+// STRFilter.
+func STR(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
+	return opts.job(STRFilter()).SelfJoin(ts)
+}
+
+// SET joins ts using the binary branch filter of Yang et al.; see SETFilter.
+func SET(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
+	return opts.job(SETFilter()).SelfJoin(ts)
+}
+
+// HIST joins ts using the histogram lower bounds of Kailing et al.; see
+// HISTFilter.
+func HIST(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
+	return opts.job(HISTFilter()).SelfJoin(ts)
+}
+
+// EUL joins ts using the Euler-string lower bound of Akutsu et al.; see
+// EULFilter.
+func EUL(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
+	return opts.job(EULFilter()).SelfJoin(ts)
 }

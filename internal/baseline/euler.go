@@ -1,7 +1,6 @@
 package baseline
 
 import (
-	"treejoin/internal/sim"
 	"treejoin/internal/strdist"
 	"treejoin/internal/tree"
 )
@@ -25,53 +24,13 @@ import (
 // (the close symbols encode where subtrees end) at twice the sequence
 // length.
 
-// EulerString returns the Euler tour string of t as interned symbols: label
-// id L maps to 2L on descent and 2L+1 on ascent, so open and close symbols
-// of equal labels stay distinct.
-func EulerString(t *tree.Tree) []int32 {
-	out := make([]int32, 0, 2*t.Size())
-	type frame struct {
-		node  int32
-		child int32 // next child to visit, or tree.None when ascending
-	}
-	stack := make([]frame, 0, 16)
-	root := t.Root()
-	out = append(out, 2*t.Nodes[root].Label)
-	stack = append(stack, frame{root, t.Nodes[root].FirstChild})
-	for len(stack) > 0 {
-		top := &stack[len(stack)-1]
-		if top.child == tree.None {
-			out = append(out, 2*t.Nodes[top.node].Label+1)
-			stack = stack[:len(stack)-1]
-			continue
-		}
-		c := top.child
-		top.child = t.Nodes[c].NextSibling
-		out = append(out, 2*t.Nodes[c].Label)
-		stack = append(stack, frame{c, t.Nodes[c].FirstChild})
-	}
-	return out
-}
+// EulerString returns the Euler tour string of t in the shared open/close
+// symbol encoding (tree.EulerString), the string both this baseline's bound
+// and the Euler-gram bag bound are stated over.
+func EulerString(t *tree.Tree) []int32 { return tree.EulerString(t) }
 
 // EulerLowerBound returns the Euler-string TED lower bound ⌈sed(e1,e2)/2⌉,
 // computed with a band of 2τ; values above τ only certify "greater than τ".
 func EulerLowerBound(e1, e2 []int32, tau int) int {
 	return (strdist.Bounded(e1, e2, 2*tau) + 1) / 2
-}
-
-// EUL joins ts using the Euler-string lower bound of Akutsu et al.: a pair is
-// pruned when the banded string edit distance of the Euler strings exceeds
-// 2τ. Like STR, candidate generation is a string join over all size-
-// compatible pairs — at twice the string length and band width, so candidate
-// generation costs roughly 4× STR's while pruning slightly more pairs.
-func EUL(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
-	return run(ts, opts, func(stats *sim.Stats) filterFunc {
-		eulers := make([][]int32, len(ts))
-		for i, t := range ts {
-			eulers[i] = EulerString(t)
-		}
-		return func(i, j int) bool {
-			return EulerLowerBound(eulers[i], eulers[j], opts.Tau) <= opts.Tau
-		}
-	})
 }

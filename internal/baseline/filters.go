@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"treejoin/internal/engine"
+	"treejoin/internal/strdist"
+	"treejoin/internal/tree"
+)
+
+// The baselines' lower bounds as composable engine stages. Each constructor
+// packages one method's per-tree precomputation and pair predicate into an
+// engine.PairFilter, so the same bound serves as a standalone join method
+// (this package's STR/SET/HIST/EUL), as a prefilter chained in front of any
+// other method (the public WithPrefilter option), or as one link of a
+// cheap-to-expensive filter cascade. Every predicate is a sound TED lower
+// bound test: it prunes a pair only when the bound proves TED > τ.
+
+// STRFilter returns the traversal-string stage (Guha et al.): the unit-cost
+// string edit distance between the preorder (resp. postorder) label
+// sequences of two trees never exceeds their TED, so a pair whose preorder
+// or postorder sequences differ by more than τ cannot be a result. Sequence
+// distances are computed with the τ-banded algorithm, matching the original
+// method's cost profile: candidate generation is a string join over all
+// size-compatible pairs and dominates at small τ (cf. Figure 10).
+func STRFilter() engine.PairFilter {
+	return engine.NewFilter("STR", func(c *engine.Collection) func(i, j int) bool {
+		pre := make([][]int32, len(c.Trees))
+		post := make([][]int32, len(c.Trees))
+		for i, t := range c.Trees {
+			pre[i] = tree.LabelSeq(t, tree.Preorder(t))
+			post[i] = tree.LabelSeq(t, tree.Postorder(t))
+		}
+		tau := c.Tau
+		return func(i, j int) bool {
+			if strdist.Bounded(pre[i], pre[j], tau) > tau {
+				return false
+			}
+			return strdist.Bounded(post[i], post[j], tau) <= tau
+		}
+	})
+}
+
+// SETFilter returns the binary branch stage (Yang et al.): a pair is pruned
+// when its binary branch distance exceeds 5τ. The branch structure is
+// insensitive to τ, so — exactly as the paper observes — the test is cheap
+// but the candidate set grows quickly with τ.
+func SETFilter() engine.PairFilter {
+	return engine.NewFilter("SET", func(c *engine.Collection) func(i, j int) bool {
+		vecs := make([][]branch, len(c.Trees))
+		for i, t := range c.Trees {
+			vecs[i] = BranchVector(t)
+		}
+		limit := 5 * c.Tau
+		return func(i, j int) bool {
+			return BIB(vecs[i], vecs[j]) <= limit
+		}
+	})
+}
+
+// HISTFilter returns the statistics-histogram stage (Kailing et al.): a pair
+// is pruned when any of the five statistic lower bounds (size, leaves,
+// height, label histogram, degree histogram — see hist.go for the proofs)
+// exceeds τ. Profile extraction is linear and each pair test touches only
+// the sparse histograms, making this the cheapest filter per pair and the
+// natural first link of a prefilter chain.
+func HISTFilter() engine.PairFilter {
+	return engine.NewFilter("HIST", func(c *engine.Collection) func(i, j int) bool {
+		profiles := make([]*HistProfile, len(c.Trees))
+		for i, t := range c.Trees {
+			profiles[i] = NewHistProfile(t)
+		}
+		tau := c.Tau
+		return func(i, j int) bool {
+			return HistLowerBound(profiles[i], profiles[j]) <= tau
+		}
+	})
+}
+
+// EULFilter returns the Euler-string stage (Akutsu et al.): a pair is pruned
+// when the 2τ-banded string edit distance of the Euler strings exceeds 2τ.
+// Like STR the test is a banded string comparison — at twice the string
+// length and band width, so it costs roughly 4× STR's while pruning slightly
+// more shape changes (the close symbols encode where subtrees end).
+func EULFilter() engine.PairFilter {
+	return engine.NewFilter("EUL", func(c *engine.Collection) func(i, j int) bool {
+		eulers := make([][]int32, len(c.Trees))
+		for i, t := range c.Trees {
+			eulers[i] = EulerString(t)
+		}
+		tau := c.Tau
+		return func(i, j int) bool {
+			return EulerLowerBound(eulers[i], eulers[j], tau) <= tau
+		}
+	})
+}

@@ -3,7 +3,6 @@ package baseline
 import (
 	"sort"
 
-	"treejoin/internal/sim"
 	"treejoin/internal/tree"
 )
 
@@ -145,20 +144,3 @@ func HistLowerBound(p1, p2 *HistProfile) int {
 	return lb
 }
 
-// HIST joins ts using the histogram lower bounds of Kailing et al.: a pair is
-// pruned when any of the statistic bounds exceeds τ. Profile extraction is
-// linear and each pair test touches only the sparse histograms, so candidate
-// generation is very cheap; like SET, the filter is insensitive to τ and its
-// pruning power comes entirely from how much the collection's label and
-// degree distributions separate the trees.
-func HIST(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
-	return run(ts, opts, func(stats *sim.Stats) filterFunc {
-		profiles := make([]*HistProfile, len(ts))
-		for i, t := range ts {
-			profiles[i] = NewHistProfile(t)
-		}
-		return func(i, j int) bool {
-			return HistLowerBound(profiles[i], profiles[j]) <= opts.Tau
-		}
-	})
-}

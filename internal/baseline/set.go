@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"treejoin/internal/lcrs"
-	"treejoin/internal/sim"
 	"treejoin/internal/tree"
 )
 
@@ -67,19 +66,3 @@ func BIB(x1, x2 []branch) int {
 	return len(x1) + len(x2) - 2*common
 }
 
-// SET joins ts using the binary branch filter of Yang et al.: a pair is
-// pruned when its binary branch distance exceeds 5τ. The branch structure is
-// insensitive to τ, so — exactly as the paper observes — candidate generation
-// is cheap but the candidate set grows quickly with τ.
-func SET(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
-	return run(ts, opts, func(stats *sim.Stats) filterFunc {
-		vecs := make([][]branch, len(ts))
-		for i, t := range ts {
-			vecs[i] = BranchVector(t)
-		}
-		limit := 5 * opts.Tau
-		return func(i, j int) bool {
-			return BIB(vecs[i], vecs[j]) <= limit
-		}
-	})
-}

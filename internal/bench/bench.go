@@ -17,6 +17,8 @@ import (
 
 	"treejoin/internal/baseline"
 	"treejoin/internal/core"
+	"treejoin/internal/engine"
+	"treejoin/internal/pqgram"
 	"treejoin/internal/sim"
 	"treejoin/internal/synth"
 	"treejoin/internal/tree"
@@ -36,6 +38,10 @@ const (
 	BF        Method = "BF"        // size filter only (oracle / REL)
 	HIST      Method = "HIST"      // Kailing et al. histogram bounds (extension)
 	EUL       Method = "EUL"       // Akutsu et al. Euler-string bound (extension)
+	PQG       Method = "PQG"       // Euler-gram bag bound (extension)
+	PRTHist   Method = "HIST→PRT"  // HIST prefilter chained before PartSJ
+	STRHist   Method = "HIST→STR"  // HIST prefilter chained before STR
+	PQGHist   Method = "HIST→PQG"  // HIST prefilter chained before PQG
 )
 
 // Result is one join execution's measurements.
@@ -48,6 +54,7 @@ type Result struct {
 	Results    int64
 	CandGen    time.Duration // candidate generation (+ partitioning for PRT)
 	Verify     time.Duration // exact TED computation
+	Stages     []sim.StageStats
 }
 
 // Total is the end-to-end join time.
@@ -75,6 +82,15 @@ func Run(m Method, dataset string, ts []*tree.Tree, tau, workers int) Result {
 		_, st = core.SelfJoin(ts, core.Options{Tau: tau, Workers: workers, Position: core.PositionOff})
 	case PRTHybrid:
 		_, st = core.SelfJoin(ts, core.Options{Tau: tau, Workers: workers, HybridVerify: true})
+	case PQG:
+		_, st = loopJob(tau, workers, pqgram.Filter(0)).SelfJoin(ts)
+	case PRTHist:
+		_, st = core.Options{Tau: tau, Workers: workers}.
+			Job(0, []engine.PairFilter{baseline.HISTFilter()}).SelfJoin(ts)
+	case STRHist:
+		_, st = loopJob(tau, workers, baseline.HISTFilter(), baseline.STRFilter()).SelfJoin(ts)
+	case PQGHist:
+		_, st = loopJob(tau, workers, baseline.HISTFilter(), pqgram.Filter(0)).SelfJoin(ts)
 	default:
 		_, st = core.SelfJoin(ts, core.Options{Tau: tau, Workers: workers})
 	}
@@ -87,6 +103,18 @@ func Run(m Method, dataset string, ts []*tree.Tree, tau, workers int) Result {
 		Results:    st.Results,
 		CandGen:    st.CandTime + st.PartitionTime,
 		Verify:     st.VerifyTime,
+		Stages:     st.Stages,
+	}
+}
+
+// loopJob assembles a sorted-nested-loop engine job with the given filter
+// chain — the shape of every non-PRT method.
+func loopJob(tau, workers int, filters ...engine.PairFilter) engine.Job {
+	return engine.Job{
+		Source:  engine.SortedLoop(),
+		Filters: filters,
+		Tau:     tau,
+		Workers: workers,
 	}
 }
 

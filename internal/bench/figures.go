@@ -214,6 +214,38 @@ func BaselinePanorama(c Config) *Table {
 	return t
 }
 
+// FilterPipeline measures the engine's filter chaining: each method alone
+// versus the same method with the cheap HIST statistics screen chained in
+// front of it, with per-stage kill attribution. An engine extension (not a
+// paper figure): it shows where a cascade's pruning happens and what the
+// cheap first link saves the expensive second one.
+func FilterPipeline(c Config) *Table {
+	ts := synth.Synthetic(c.n(10000), c.Seed)
+	t := &Table{
+		Title:   fmt.Sprintf("Extension: filter pipelines (%d trees)", len(ts)),
+		Columns: []string{"tau", "pipeline", "stage kills", "candidates", "candgen", "total"},
+	}
+	for tau := 1; tau <= 3; tau += 2 {
+		for _, m := range []Method{PRT, PRTHist, STR, STRHist, PQG, PQGHist} {
+			r := Run(m, "Synthetic", ts, tau, c.Workers)
+			kills := "-"
+			if len(r.Stages) > 0 {
+				kills = ""
+				for i, s := range r.Stages {
+					if i > 0 {
+						kills += " "
+					}
+					kills += fmt.Sprintf("%s:%s", s.Name, count(s.Pruned))
+				}
+			}
+			t.AddRow(fmt.Sprintf("%d", tau), string(m), kills,
+				count(r.Candidates), dur(r.CandGen), dur(r.Total()))
+			c.report("pipeline τ=%d %s: cand=%d total=%v", tau, m, r.Candidates, r.Total())
+		}
+	}
+	return t
+}
+
 // AblationPosition measures the two-layer index's position layer: the sound
 // size-difference-aware default, the paper's tighter ranges, and no position
 // layer at all. A reproduction extension (not a paper figure).

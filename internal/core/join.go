@@ -2,12 +2,8 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	"treejoin/internal/lcrs"
+	"treejoin/internal/engine"
 	"treejoin/internal/sim"
 	"treejoin/internal/tree"
 )
@@ -30,8 +26,9 @@ type Options struct {
 	// lower bounds before the cubic TED (see verify.go). Ignored when
 	// Verifier is set; not supported by Incremental.
 	HybridVerify bool
-	// Workers parallelises TED verification; ≤ 1 verifies inline. Candidate
-	// generation is inherently sequential (the index is built on the fly).
+	// Workers parallelises TED verification, the partitioning pre-pass, and
+	// (through ShardedSelfJoin's fragment-and-replicate decomposition) the
+	// candidate generation tasks; ≤ 1 runs sequentially.
 	Workers int
 }
 
@@ -42,6 +39,24 @@ func (o Options) validate() error {
 		return fmt.Errorf("core: negative threshold %d", o.Tau)
 	}
 	return nil
+}
+
+// Job assembles the engine job for a PartSJ execution: the inverted subgraph
+// index as the candidate source, prefilters (if any) ahead of it, and the
+// hybrid string-bound verifier when configured.
+func (o Options) Job(shards int, filters []engine.PairFilter) engine.Job {
+	job := engine.Job{
+		Source:   NewSource(o),
+		Filters:  filters,
+		Tau:      o.Tau,
+		Verifier: o.Verifier,
+		Workers:  o.Workers,
+		Shards:   shards,
+	}
+	if o.HybridVerify && o.Verifier == nil {
+		job.VerifierFor = HybridVerifier
+	}
+	return job
 }
 
 // SelfJoin implements Algorithm 1 (PartSJ): it reports every pair of trees in
@@ -57,27 +72,12 @@ func SelfJoin(ts []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
 	if err := opts.validate(); err != nil {
 		panic(err)
 	}
-	if opts.HybridVerify && opts.Verifier == nil {
-		opts.Verifier = newSeqCache(ts).verifier()
-	}
-	j := newJoiner(len(ts), opts)
-	j.prepartition(ts)
-	order := sim.SizeOrder(ts)
-	for _, ti := range order {
-		j.probeAndCollect(ts, ti, j.ix, j.smalls)
-		j.verify(ts)
-		j.insert(ts, ti, j.ix, &j.smalls)
-	}
-	j.flushDeferred(ts)
-	sim.SortPairs(j.results)
-	j.stats.Results = int64(len(j.results))
-	j.stats.Trees = len(ts)
-	return j.results, j.stats
+	return opts.Job(0, nil).SelfJoin(ts)
 }
 
 // Join reports every cross pair (a ∈ A, b ∈ B) with TED ≤ opts.Tau. Pair.I
 // indexes into A and Pair.J into B. Both collections must share one label
-// table. The algorithm processes the union of the collections in ascending
+// table. The engine processes the union of the collections in ascending
 // size order, maintaining one subgraph index per side and probing the
 // opposite side's index, so the Lemma 2 filter applies to every cross pair
 // exactly as in the self join.
@@ -85,204 +85,13 @@ func Join(a, b []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
 	if err := opts.validate(); err != nil {
 		panic(err)
 	}
-	ts := make([]*tree.Tree, 0, len(a)+len(b))
-	ts = append(ts, a...)
-	ts = append(ts, b...)
-	if opts.HybridVerify && opts.Verifier == nil {
-		opts.Verifier = newSeqCache(ts).verifier()
-	}
-	side := func(i int) int {
-		if i < len(a) {
-			return 0
-		}
-		return 1
-	}
-	j := newJoiner(len(ts), opts)
-	j.prepartition(ts)
-	ixes := [2]*invIndex{newInvIndex(opts.Tau, opts.Position), newInvIndex(opts.Tau, opts.Position)}
-	var smalls [2][]int
-	order := sim.SizeOrder(ts)
-	for _, ti := range order {
-		s := side(ti)
-		j.probeAndCollect(ts, ti, ixes[1-s], smalls[1-s])
-		j.verify(ts)
-		j.insert(ts, ti, ixes[s], &smalls[s])
-	}
-	j.flushDeferred(ts)
-	// Map combined indices back to per-collection positions. The combined
-	// A index is always smaller, so Pair.I is the A element already.
-	for i := range j.results {
-		j.results[i].J -= len(a)
-	}
-	sim.SortPairs(j.results)
-	j.stats.Results = int64(len(j.results))
-	j.stats.Trees = len(ts)
-	return j.results, j.stats
+	return opts.Job(0, nil).Join(a, b)
 }
 
-// joiner holds the mutable state shared by the join drivers.
-type joiner struct {
-	opts     Options
-	delta    int
-	ix       *invIndex
-	bins     []*lcrs.Bin
-	parts    []*Partition
-	smalls   []int
-	checked  []int32 // per-tree stamp; avoids re-checking a pair in one probe
-	gen      int32
-	sc       matchScratch
-	cands    []sim.Candidate
-	deferred []sim.Candidate
-	results  []sim.Pair
-	stats    *sim.Stats
-	rng      *rand.Rand
-	probeID  int // combined index of the tree currently probing
-}
-
-func newJoiner(n int, opts Options) *joiner {
-	j := &joiner{
-		opts:    opts,
-		delta:   opts.delta(),
-		ix:      newInvIndex(opts.Tau, opts.Position),
-		bins:    make([]*lcrs.Bin, n),
-		parts:   make([]*Partition, n),
-		checked: make([]int32, n),
-		stats:   &sim.Stats{},
-	}
-	for i := range j.checked {
-		j.checked[i] = -1
-	}
-	if opts.RandomPartition {
-		j.rng = rand.New(rand.NewSource(opts.Seed))
-	}
-	return j
-}
-
-// prepartition builds the binary views and balanced partitions of every tree
-// on a worker pool before the sequential probe/insert loop — the join's only
-// embarrassingly parallel phase besides verification (the multi-core
-// direction of the paper's future work). A no-op unless Workers > 1; the
-// random-partition ablation stays sequential to keep its RNG stream
-// deterministic.
-func (j *joiner) prepartition(ts []*tree.Tree) {
-	if j.opts.Workers <= 1 || j.rng != nil || len(ts) == 0 {
-		return
-	}
-	start := time.Now()
-	workers := j.opts.Workers
-	if workers > len(ts) {
-		workers = len(ts)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ts) {
-					return
-				}
-				b := lcrs.Build(ts[i])
-				j.bins[i] = b
-				if ts[i].Size() >= j.delta {
-					j.parts[i] = Compute(b, j.delta)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	j.stats.PartitionTime += time.Since(start)
-}
-
-// probeAndCollect gathers the candidate partners of tree ti among the trees
-// already inserted into ix and smalls (Algorithm 1 lines 5–10).
-func (j *joiner) probeAndCollect(ts []*tree.Tree, ti int, ix *invIndex, smalls []int) {
-	start := time.Now()
-	t := ts[ti]
-	b := j.bins[ti]
-	if b == nil {
-		b = lcrs.Build(t)
-		j.bins[ti] = b
-	}
-	sz := t.Size()
-	j.cands = j.cands[:0]
-	j.probeID = ti
-	gen := j.gen
-	j.gen++
-	// Small-tree fallback: trees below δ nodes were never indexed.
-	for _, other := range smalls {
-		if ts[other].Size() >= sz-j.opts.Tau && j.checked[other] != gen {
-			j.checked[other] = gen
-			j.cands = append(j.cands, sim.Candidate{I: ti, J: other})
-			j.stats.SmallTreeFallback++
-		}
-	}
-	minSize := sz - j.opts.Tau
-	if minSize < 1 {
-		minSize = 1
-	}
-	for _, n := range b.Order {
-		j.stats.SubgraphProbes += ix.probe(b, n, minSize, sz, func(e entry) {
-			if j.checked[e.tree] == gen {
-				return
-			}
-			j.stats.MatchTests++
-			if matches(j.parts[e.tree], e.comp, b, n, &j.sc) {
-				j.stats.MatchHits++
-				j.checked[e.tree] = gen
-				j.cands = append(j.cands, sim.Candidate{I: ti, J: int(e.tree)})
-			}
-		})
-	}
-	j.stats.CandTime += time.Since(start)
-}
-
-// verify runs the TED verifier over the collected candidates. With a worker
-// pool configured, per-tree candidate batches are far too small to engage it
-// (tens of pairs against a pool spin-up), so verification is deferred: since
-// Algorithm 1's verification step never feeds back into the index, batch
-// joins can push every candidate into one fully parallel pass at the end
-// (flushDeferred). Sequential joins keep the paper's per-tree interleaving.
-func (j *joiner) verify(ts []*tree.Tree) {
-	if j.opts.Workers > 1 {
-		j.deferred = append(j.deferred, j.cands...)
-		return
-	}
-	j.results = append(j.results,
-		sim.VerifyAll(ts, j.cands, j.opts.Tau, j.opts.Verifier, j.opts.Workers, j.stats)...)
-}
-
-// flushDeferred verifies the candidates accumulated by verify in one parallel
-// batch. A no-op for sequential joins.
-func (j *joiner) flushDeferred(ts []*tree.Tree) {
-	if len(j.deferred) == 0 {
-		return
-	}
-	j.results = append(j.results,
-		sim.VerifyAll(ts, j.deferred, j.opts.Tau, j.opts.Verifier, j.opts.Workers, j.stats)...)
-	j.deferred = j.deferred[:0]
-}
-
-// insert partitions tree ti and adds its subgraphs to ix (Algorithm 1 lines
-// 13–16), or records it as a small tree.
-func (j *joiner) insert(ts []*tree.Tree, ti int, ix *invIndex, smalls *[]int) {
-	start := time.Now()
-	if ts[ti].Size() >= j.delta {
-		p := j.parts[ti] // non-nil when prepartition ran
-		if p == nil {
-			if j.rng != nil {
-				p = ComputeRandom(j.bins[ti], j.delta, j.rng)
-			} else {
-				p = Compute(j.bins[ti], j.delta)
-			}
-			j.parts[ti] = p
-		}
-		j.stats.IndexedSubgraphs += int64(j.delta)
-		ix.insert(ti, p)
-	} else {
-		*smalls = append(*smalls, ti)
-	}
-	j.stats.PartitionTime += time.Since(start)
+// HybridVerifier returns the hybrid verification stage over ts: candidates
+// are screened with the τ-banded traversal-string lower bounds before the
+// exact bounded TED (see verify.go). It is the engine Job.VerifierFor hook
+// behind Options.HybridVerify.
+func HybridVerifier(ts []*tree.Tree) sim.Verifier {
+	return newSeqCache(ts).verifier()
 }

@@ -1,36 +1,18 @@
 package core
 
 import (
-	"sync"
-
 	"treejoin/internal/sim"
 	"treejoin/internal/tree"
 )
 
-// Sharded execution (the paper's §6 future work: "the adaption of our
-// techniques to parallel and distributed settings (e.g., multi-core
-// architectures, MapReduce)"). The collection is cut into S contiguous
-// shards of the size-sorted order; every result pair is either internal to
-// one shard or crosses exactly one shard pair, so the self-join decomposes
-// into S independent intra-shard self-joins plus S·(S−1)/2 independent
-// cross joins — the classic fragment-and-replicate plan. Each task runs the
-// ordinary PartSJ driver and the tasks share nothing, which is exactly the
-// property a distributed deployment needs: a MapReduce round would ship one
-// task per reducer. Here the tasks run on a local worker pool.
-//
-// Sharding the *sorted* order keeps the size filter effective: a cross join
-// of two shards whose size ranges are further than τ apart is skipped
-// entirely (its size windows cannot overlap), so for large collections most
-// of the S² tasks vanish.
-//
-// The result set is identical to SelfJoin's; the cost is that each cross
-// task rebuilds its own index, so the total filtering work exceeds the
-// sequential join's — the trade the paper's future work anticipates
-// (parallelism versus shared state).
-
 // ShardedSelfJoin reports every pair of trees in ts with TED ≤ opts.Tau,
-// exactly like SelfJoin, by decomposing the join into shard tasks executed
-// on opts.Workers goroutines (minimum 1). shards ≤ 1 falls back to SelfJoin.
+// exactly like SelfJoin, by asking the engine to decompose the join into the
+// fragment-and-replicate shard plan (see the partSJSource documentation in
+// source.go) executed on opts.Workers goroutines. shards ≤ 1 falls back to
+// the sequential SelfJoin. The result set is identical; the cost is that
+// each cross task rebuilds its own index, so the total filtering work
+// exceeds the sequential join's — the trade the paper's §6 future work
+// anticipates (parallelism versus shared state).
 func ShardedSelfJoin(ts []*tree.Tree, shards int, opts Options) ([]sim.Pair, *sim.Stats) {
 	if err := opts.validate(); err != nil {
 		panic(err)
@@ -41,139 +23,5 @@ func ShardedSelfJoin(ts []*tree.Tree, shards int, opts Options) ([]sim.Pair, *si
 	if shards <= 1 {
 		return SelfJoin(ts, opts)
 	}
-	// Cut the size-sorted order into contiguous shards; remember each tree's
-	// position so results can be mapped back to collection indices.
-	order := sim.SizeOrder(ts)
-	bounds := make([]int, shards+1)
-	for s := 0; s <= shards; s++ {
-		bounds[s] = s * len(ts) / shards
-	}
-	shard := func(s int) []int { return order[bounds[s]:bounds[s+1]] }
-	// Size range of each shard, for the inter-shard size filter.
-	loSize := make([]int, shards)
-	hiSize := make([]int, shards)
-	for s := 0; s < shards; s++ {
-		ids := shard(s)
-		loSize[s] = ts[ids[0]].Size()
-		hiSize[s] = ts[ids[len(ids)-1]].Size()
-	}
-
-	type task struct{ a, b int } // b == a: intra-shard
-	var tasks []task
-	for a := 0; a < shards; a++ {
-		tasks = append(tasks, task{a, a})
-		for b := a + 1; b < shards; b++ {
-			if loSize[b]-hiSize[a] <= opts.Tau { // windows can overlap
-				tasks = append(tasks, task{a, b})
-			}
-		}
-	}
-
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	// Each task runs single-threaded; the parallelism is across tasks.
-	taskOpts := opts
-	taskOpts.Workers = 0
-
-	results := make([][]sim.Pair, len(tasks))
-	stats := make([]*sim.Stats, len(tasks))
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(tasks) {
-					return
-				}
-				tk := tasks[i]
-				if tk.a == tk.b {
-					ids := shard(tk.a)
-					sub := make([]*tree.Tree, len(ids))
-					for k, id := range ids {
-						sub[k] = ts[id]
-					}
-					pairs, st := SelfJoin(sub, taskOpts)
-					for k := range pairs {
-						pairs[k].I = ids[pairs[k].I]
-						pairs[k].J = ids[pairs[k].J]
-						if pairs[k].I > pairs[k].J {
-							pairs[k].I, pairs[k].J = pairs[k].J, pairs[k].I
-						}
-					}
-					results[i], stats[i] = pairs, st
-				} else {
-					aIDs, bIDs := shard(tk.a), shard(tk.b)
-					as := make([]*tree.Tree, len(aIDs))
-					for k, id := range aIDs {
-						as[k] = ts[id]
-					}
-					bs := make([]*tree.Tree, len(bIDs))
-					for k, id := range bIDs {
-						bs[k] = ts[id]
-					}
-					pairs, st := Join(as, bs, taskOpts)
-					for k := range pairs {
-						pairs[k].I = aIDs[pairs[k].I]
-						pairs[k].J = bIDs[pairs[k].J]
-						if pairs[k].I > pairs[k].J {
-							pairs[k].I, pairs[k].J = pairs[k].J, pairs[k].I
-						}
-					}
-					results[i], stats[i] = pairs, st
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	var out []sim.Pair
-	total := &sim.Stats{Trees: len(ts)}
-	for i := range results {
-		out = append(out, results[i]...)
-		st := stats[i]
-		total.Candidates += st.Candidates
-		total.CandTime += st.CandTime
-		total.VerifyTime += st.VerifyTime
-		total.PartitionTime += st.PartitionTime
-		total.IndexedSubgraphs += st.IndexedSubgraphs
-		total.SubgraphProbes += st.SubgraphProbes
-		total.MatchTests += st.MatchTests
-		total.MatchHits += st.MatchHits
-		total.SmallTreeFallback += st.SmallTreeFallback
-	}
-	sim.SortPairs(out)
-	// Equal-size trees may straddle a shard boundary; contiguous cuts of the
-	// sorted order still cover every pair exactly once, but defend against
-	// duplicates anyway in case a caller passes aliased trees.
-	out = dedupPairs(out)
-	total.Results = int64(len(out))
-	return out, total
-}
-
-// dedupPairs removes adjacent duplicates from a sorted pair list.
-func dedupPairs(ps []sim.Pair) []sim.Pair {
-	if len(ps) < 2 {
-		return ps
-	}
-	keep := ps[:1]
-	for _, p := range ps[1:] {
-		last := keep[len(keep)-1]
-		if p.I == last.I && p.J == last.J {
-			continue
-		}
-		keep = append(keep, p)
-	}
-	return keep
+	return opts.Job(shards, nil).SelfJoin(ts)
 }

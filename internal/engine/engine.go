@@ -1,0 +1,402 @@
+// Package engine is the composable join pipeline every exact similarity-join
+// method in this module runs on. The paper frames PartSJ and its baselines
+// alike as one filter-then-verify loop over a size-ordered collection; this
+// package implements that loop exactly once:
+//
+//	CandidateSource ──► PairFilter chain ──► parallel TED verification
+//
+// A CandidateSource enumerates the pairs its own pruning cannot rule out (the
+// PartSJ inverted subgraph index, or the sorted nested loop with the size
+// window). A PairFilter is a cheap pair-level test backed by a sound TED
+// lower bound — pruning a pair must prove its distance exceeds τ — so any
+// chain of filters in front of any source leaves the result set untouched.
+// Surviving candidates are verified with the exact bounded TED.
+//
+// The engine owns everything the five former copies of the loop implemented
+// divergently: self joins and cross joins, sequential and parallel candidate
+// generation (sources decompose into independent tasks executed on a worker
+// pool), parallel verification, per-stage statistics attribution, and
+// canonical result ordering. Adding a filter, a backend, or a parallelisation
+// strategy means writing one stage, not a sixth loop; see DESIGN.md.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"treejoin/internal/sim"
+	"treejoin/internal/tree"
+)
+
+// Collection is the engine's view of the trees being joined: the combined
+// collection (A followed by B for cross joins), the TED threshold, and the
+// ascending-size processing order of Algorithm 1. It is immutable during a
+// run and shared by all tasks.
+type Collection struct {
+	// Trees is the combined collection. For a cross join it is A ++ B; for a
+	// self join it is the collection itself.
+	Trees []*tree.Tree
+	// Split is len(A) for cross joins and -1 for self joins. In a cross join
+	// only pairs straddling the boundary are candidates.
+	Split int
+	// Tau is the TED threshold τ ≥ 0.
+	Tau int
+	// Order holds tree indices sorted by ascending size (ties by index).
+	Order []int
+	// Workers is the worker-pool width the job runs with (≥ 1). Sources that
+	// can decompose candidate generation cheaply use it as their default
+	// task count.
+	Workers int
+
+	sizes []int // sizes in Order order, for binary-searching the window
+}
+
+// Cross reports whether the collection is the union of two sides.
+func (c *Collection) Cross() bool { return c.Split >= 0 }
+
+// SameSide reports whether combined indices i and j belong to the same side
+// of a cross join (always false for self joins, where every pair qualifies).
+func (c *Collection) SameSide(i, j int) bool {
+	if !c.Cross() {
+		return false
+	}
+	return (i < c.Split) == (j < c.Split)
+}
+
+// WindowStart returns the first position in Order whose tree size is at
+// least sz − τ: the start of the size window a probe of size sz must scan.
+func (c *Collection) WindowStart(sz int) int {
+	min := sz - c.Tau
+	return sort.SearchInts(c.sizes, min)
+}
+
+func newCollection(ts []*tree.Tree, split, tau, workers int) *Collection {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &Collection{Trees: ts, Split: split, Tau: tau, Workers: workers}
+	c.Order = sim.SizeOrder(ts)
+	c.sizes = make([]int, len(c.Order))
+	for p, ti := range c.Order {
+		c.sizes[p] = ts[ti].Size()
+	}
+	return c
+}
+
+// PairFilter is one pipeline stage: a cheap pair-level test that may prune a
+// pair only when a sound TED lower bound proves its distance exceeds τ.
+// Prepare runs once per join over the combined collection and returns the
+// predicate; the predicate must be safe for concurrent use (the engine calls
+// it from every candidate-generation task).
+type PairFilter interface {
+	// Name labels the stage in Stats.Stages.
+	Name() string
+	// Prepare precomputes per-tree state and returns the pair predicate:
+	// keep(i, j) reports whether the pair may be within c.Tau.
+	Prepare(c *Collection) func(i, j int) bool
+}
+
+// funcFilter adapts a name and prepare function to the PairFilter interface.
+type funcFilter struct {
+	name    string
+	prepare func(c *Collection) func(i, j int) bool
+}
+
+func (f funcFilter) Name() string                              { return f.name }
+func (f funcFilter) Prepare(c *Collection) func(i, j int) bool { return f.prepare(c) }
+
+// NewFilter builds a PairFilter from a name and a prepare function.
+func NewFilter(name string, prepare func(c *Collection) func(i, j int) bool) PairFilter {
+	return funcFilter{name: name, prepare: prepare}
+}
+
+// Task is one independent unit of candidate generation. Tasks run
+// concurrently on the worker pool, each with its own Pipeline.
+type Task func(px *Pipeline)
+
+// CandidateSource enumerates the candidate pairs of a join.
+type CandidateSource interface {
+	// Name labels the source in diagnostics.
+	Name() string
+	// Tasks decomposes candidate generation into independent units. The
+	// engine passes the job's shard count; shards ≤ 1 asks for the source's
+	// natural decomposition (a single sequential task, or a cheap split
+	// across c.Workers when the source has no shared state). Together the
+	// tasks must offer every unordered candidate pair exactly once.
+	Tasks(c *Collection, shards int) []Task
+}
+
+// Pipeline is a task's private view of the filter chain and candidate sink.
+// Screen runs the filters over a pair (with per-stage accounting); Emit
+// records a surviving pair for verification; Offer combines the two. Sources
+// that interleave their own pair-level work with the filters (PartSJ runs
+// subgraph-match tests after the prefilters) call Screen and Emit separately
+// so the chain prunes a pair before the source spends effort on it.
+type Pipeline struct {
+	c      *Collection
+	preds  []func(i, j int) bool
+	counts []sim.StageStats
+	cands  []sim.Candidate
+	stats  sim.Stats
+
+	// Sequential jobs verify candidates in bounded chunks as they are
+	// emitted (Algorithm 1's interleaving, generalised), keeping peak
+	// memory at O(flushAt) instead of O(total candidates). Parallel jobs
+	// set flushAt = 0 and defer everything to one pool-wide pass, where
+	// the bigger batch load-balances better.
+	flushAt    int
+	verifier   sim.Verifier
+	results    []sim.Pair
+	inlineTime time.Duration
+}
+
+// flushCandidates verifies and drains the buffered candidates inline. The
+// elapsed time is remembered so the engine can carve it back out of the
+// source's candidate-generation clock (flushes happen inside the source's
+// timed loop).
+func (px *Pipeline) flushCandidates() {
+	if len(px.cands) == 0 {
+		return
+	}
+	start := time.Now()
+	px.results = append(px.results,
+		sim.VerifyAll(px.c.Trees, px.cands, px.c.Tau, px.verifier, 1, &px.stats)...)
+	px.cands = px.cands[:0]
+	px.inlineTime += time.Since(start)
+}
+
+// Collection returns the shared collection view.
+func (px *Pipeline) Collection() *Collection { return px.c }
+
+// Stats returns the task-local statistics sink; sources add their own
+// counters (index probes, match tests, partition time) here. The engine
+// merges all task sinks into the join's Stats.
+func (px *Pipeline) Stats() *sim.Stats { return &px.stats }
+
+// Screen runs the filter chain over pair (i, j) and reports whether it
+// survives every stage. Each pair must be screened at most once per join.
+func (px *Pipeline) Screen(i, j int) bool {
+	for k := range px.preds {
+		px.counts[k].In++
+		if !px.preds[k](i, j) {
+			px.counts[k].Pruned++
+			return false
+		}
+	}
+	return true
+}
+
+// Emit records pair (i, j) — combined indices, either order — as a candidate
+// for TED verification. Callers must have screened the pair.
+func (px *Pipeline) Emit(i, j int) {
+	px.cands = append(px.cands, sim.Candidate{I: i, J: j})
+	if px.flushAt > 0 && len(px.cands) >= px.flushAt {
+		px.flushCandidates()
+	}
+}
+
+// Offer screens pair (i, j) and emits it when it survives.
+func (px *Pipeline) Offer(i, j int) {
+	if px.Screen(i, j) {
+		px.Emit(i, j)
+	}
+}
+
+// Job describes one join execution: the source, the filter chain, the
+// threshold, and the execution knobs. The zero Source means SortedLoop.
+type Job struct {
+	// Source enumerates candidates; nil means SortedLoop().
+	Source CandidateSource
+	// Filters is the pipeline the source's pairs must survive, in order.
+	Filters []PairFilter
+	// Tau is the TED threshold τ ≥ 0.
+	Tau int
+	// Verifier decides candidate pairs; nil means sim.DefaultVerifier.
+	Verifier sim.Verifier
+	// VerifierFor, when non-nil and Verifier is nil, builds the verifier
+	// from the combined collection (e.g. the hybrid screen's sequence
+	// cache). It runs once per join.
+	VerifierFor func(ts []*tree.Tree) sim.Verifier
+	// Workers sizes the worker pool used for candidate generation and TED
+	// verification; ≤ 1 runs sequentially.
+	Workers int
+	// Shards asks the source to decompose the join into at least this many
+	// independent tasks even when that costs extra filtering work (PartSJ's
+	// fragment-and-replicate plan rebuilds an index per task). ≤ 1 leaves
+	// the decomposition to the source.
+	Shards int
+}
+
+// SelfJoin runs the job over one collection and reports every unordered pair
+// within Tau, in canonical ascending (I, J) order.
+func (job Job) SelfJoin(ts []*tree.Tree) ([]sim.Pair, *sim.Stats) {
+	return job.run(ts, -1)
+}
+
+// Join runs the job as a cross join: every pair (a ∈ A, b ∈ B) within Tau,
+// with Pair.I indexing into a and Pair.J into b. Both collections must share
+// one label table.
+func (job Job) Join(a, b []*tree.Tree) ([]sim.Pair, *sim.Stats) {
+	ts := make([]*tree.Tree, 0, len(a)+len(b))
+	ts = append(ts, a...)
+	ts = append(ts, b...)
+	return job.run(ts, len(a))
+}
+
+func (job Job) run(ts []*tree.Tree, split int) ([]sim.Pair, *sim.Stats) {
+	if job.Tau < 0 {
+		panic(fmt.Sprintf("engine: negative threshold %d", job.Tau))
+	}
+	source := job.Source
+	if source == nil {
+		source = SortedLoop()
+	}
+	stats := &sim.Stats{Trees: len(ts)}
+	c := newCollection(ts, split, job.Tau, job.Workers)
+
+	// Prepare the filter chain once over the combined collection; stage
+	// preparation time is candidate-generation effort.
+	start := time.Now()
+	preds := make([]func(i, j int) bool, len(job.Filters))
+	for k, f := range job.Filters {
+		preds[k] = f.Prepare(c)
+	}
+	stats.CandTime += time.Since(start)
+
+	verifier := job.Verifier
+	if verifier == nil && job.VerifierFor != nil {
+		verifier = job.VerifierFor(ts)
+	}
+	flushAt := 0
+	if job.Workers <= 1 {
+		flushAt = inlineFlushChunk
+	}
+	tasks := source.Tasks(c, job.Shards)
+	pipes := make([]*Pipeline, len(tasks))
+	for i := range pipes {
+		px := &Pipeline{
+			c:        c,
+			preds:    preds,
+			counts:   make([]sim.StageStats, len(job.Filters)),
+			flushAt:  flushAt,
+			verifier: verifier,
+		}
+		for k, f := range job.Filters {
+			px.counts[k].Name = f.Name()
+		}
+		pipes[i] = px
+	}
+	runTasks(tasks, pipes, job.Workers)
+
+	// Merge task-local results, candidates and statistics. Stage counters
+	// merge by position: every pipeline carries the same chain. Inline
+	// verification ran inside the sources' timed loops, so its elapsed time
+	// moves from the candidate-generation clock to the verification clock
+	// (where VerifyAll already recorded it).
+	stats.Stages = make([]sim.StageStats, len(job.Filters))
+	for k, f := range job.Filters {
+		stats.Stages[k].Name = f.Name()
+	}
+	var results []sim.Pair
+	var cands []sim.Candidate
+	for _, px := range pipes {
+		results = append(results, px.results...)
+		cands = append(cands, px.cands...)
+		px.stats.CandTime -= px.inlineTime
+		mergeStats(stats, &px.stats)
+		for k := range px.counts {
+			stats.Stages[k].In += px.counts[k].In
+			stats.Stages[k].Pruned += px.counts[k].Pruned
+		}
+	}
+	results = append(results, sim.VerifyAll(ts, cands, job.Tau, verifier, job.Workers, stats)...)
+	if split >= 0 {
+		// Map combined indices back to per-collection positions. Combined A
+		// indices precede B indices, so Pair.I is the A element already.
+		for i := range results {
+			results[i].J -= split
+		}
+	}
+	sim.SortPairs(results)
+	if len(tasks) > 1 {
+		// Independent tasks cover every pair exactly once by construction;
+		// dedup anyway to defend against aliased trees straddling a shard
+		// boundary (see core's sharded plan).
+		results = dedupPairs(results)
+	}
+	stats.Results = int64(len(results))
+	return results, stats
+}
+
+// inlineFlushChunk is the candidate-buffer bound of sequential jobs: large
+// enough to amortise the per-batch clock reads, small enough that a
+// paper-scale join never holds more than a sliver of its candidates.
+const inlineFlushChunk = 4096
+
+// runTasks executes the tasks on a pool of at most workers goroutines; one
+// task (or one worker) runs inline.
+func runTasks(tasks []Task, pipes []*Pipeline, workers int) {
+	if len(tasks) == 0 {
+		return
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 || len(tasks) == 1 {
+		for i, t := range tasks {
+			t(pipes[i])
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(tasks) {
+					return
+				}
+				tasks[i](pipes[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeStats folds one task's counters into the join totals. Times are
+// summed across tasks (CPU effort, as the sharded plan always reported), so
+// parallel speedups show up in wall clock, not in Stats.
+func mergeStats(total, st *sim.Stats) {
+	total.CandTime += st.CandTime
+	total.PartitionTime += st.PartitionTime
+	total.IndexedSubgraphs += st.IndexedSubgraphs
+	total.SubgraphProbes += st.SubgraphProbes
+	total.MatchTests += st.MatchTests
+	total.MatchHits += st.MatchHits
+	total.SmallTreeFallback += st.SmallTreeFallback
+}
+
+// dedupPairs removes adjacent duplicates from a sorted pair list.
+func dedupPairs(ps []sim.Pair) []sim.Pair {
+	if len(ps) < 2 {
+		return ps
+	}
+	keep := ps[:1]
+	for _, p := range ps[1:] {
+		last := keep[len(keep)-1]
+		if p.I == last.I && p.J == last.J {
+			continue
+		}
+		keep = append(keep, p)
+	}
+	return keep
+}

@@ -1,0 +1,82 @@
+package pqgram_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treejoin/internal/pqgram"
+	"treejoin/internal/synth"
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// TestGramProfileBasics: window counts, identical trees, and the q < window
+// degenerate case.
+func TestGramProfileBasics(t *testing.T) {
+	lt := tree.NewLabelTable()
+	a := tree.MustParseBracket("{a{b}{c}}", lt)
+	g := pqgram.NewGrams(a, 3)
+	if g.Len() != 2*a.Size()-3+1 {
+		t.Fatalf("gram count %d, want %d", g.Len(), 2*a.Size()-3+1)
+	}
+	b := tree.MustParseBracket("{a{b}{c}}", lt)
+	if d := pqgram.GramBagDistance(pqgram.NewGrams(a, 3), pqgram.NewGrams(b, 3)); d != 0 {
+		t.Fatalf("identical trees at distance %d", d)
+	}
+	single := tree.MustParseBracket("{a}", lt)
+	if g := pqgram.NewGrams(single, 3); g.Len() != 0 {
+		t.Fatalf("single-node tree has %d 3-grams", g.Len())
+	}
+	if d := pqgram.GramLowerBound(pqgram.NewGrams(single, 3), pqgram.NewGrams(a, 3)); d > 2 {
+		t.Fatalf("lower bound %d exceeds TED 2", d)
+	}
+}
+
+// TestGramLowerBoundSound is the soundness property test: on randomized
+// corpora, the Euler-gram lower bound ⌈|G1 △ G2|/(4q)⌉ never exceeds the
+// exact TED — the invariant that lets MethodPQGram prune without losing
+// results.
+func TestGramLowerBoundSound(t *testing.T) {
+	for _, q := range []int{1, 2, 3, 4} {
+		for seed := int64(0); seed < 4; seed++ {
+			ts := synth.Synthetic(30, 100+seed)
+			profiles := make([]*pqgram.GramProfile, len(ts))
+			for i, tr := range ts {
+				profiles[i] = pqgram.NewGrams(tr, q)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 200; trial++ {
+				i, j := rng.Intn(len(ts)), rng.Intn(len(ts))
+				d := ted.Distance(ts[i], ts[j])
+				if lb := pqgram.GramLowerBound(profiles[i], profiles[j]); lb > d {
+					t.Fatalf("q=%d seed=%d: lower bound %d > TED %d for trees %d,%d",
+						q, seed, lb, d, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestGramBoundTightOnEdits: single-edit neighbours stay within the 4q
+// budget (the per-operation constant of the bound's proof).
+func TestGramBoundTightOnEdits(t *testing.T) {
+	lt := tree.NewLabelTable()
+	base := tree.MustParseBracket("{a{b{c}{d}}{e{f}}}", lt)
+	variants := []string{
+		"{a{b{c}{d}}{e{f}{g}}}", // insert a leaf
+		"{a{b{c}}{e{f}}}",       // delete a leaf
+		"{a{b{c}{d}}{e{x}}}",    // rename a leaf
+		"{a{b{c}{d}{f}}}",       // delete internal node e (children splice up)
+	}
+	for q := 1; q <= 4; q++ {
+		pb := pqgram.NewGrams(base, q)
+		for _, s := range variants {
+			v := tree.MustParseBracket(s, lt)
+			d := ted.Distance(base, v)
+			bag := pqgram.GramBagDistance(pb, pqgram.NewGrams(v, q))
+			if bag > 4*q*d {
+				t.Fatalf("q=%d %s: bag distance %d exceeds 4q·TED = %d", q, s, bag, 4*q*d)
+			}
+		}
+	}
+}

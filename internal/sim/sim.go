@@ -30,6 +30,19 @@ func SortPairs(ps []Pair) {
 	})
 }
 
+// StageStats attributes filtering work to one pipeline stage: how many pairs
+// the stage was offered and how many it killed. The engine records one entry
+// per configured filter, in pipeline order, so a filter chain's ablation
+// (which stage does the pruning) reads directly off a join's Stats.
+type StageStats struct {
+	Name   string // filter name, e.g. "HIST"
+	In     int64  // pairs offered to the stage
+	Pruned int64  // pairs the stage eliminated
+}
+
+// Out returns the number of pairs that survived the stage.
+func (s StageStats) Out() int64 { return s.In - s.Pruned }
+
 // Stats records where a join spent its effort; the split between candidate
 // generation and TED verification is the quantity the paper's Figures 10/12
 // plot.
@@ -39,6 +52,10 @@ type Stats struct {
 	Results    int64         // pairs with TED ≤ τ
 	CandTime   time.Duration // candidate generation (filtering) time
 	VerifyTime time.Duration // exact TED computation time
+
+	// Stages holds per-filter attribution when the join ran a filter
+	// pipeline: one entry per stage, in the order the stages ran.
+	Stages []StageStats
 
 	// PartSJ-specific counters (zero for the baselines).
 	PartitionTime     time.Duration // δ-partitioning of all trees

@@ -53,6 +53,36 @@ func LabelSeq(t *Tree, order []int32) []int32 {
 	return seq
 }
 
+// EulerString returns the Euler tour string of t as interned symbols: label
+// id L maps to 2L on descent and 2L+1 on ascent, so open and close symbols
+// of equal labels stay distinct. Both the EUL baseline's string-edit bound
+// and the Euler-gram bag bound (internal/pqgram) are stated over this one
+// encoding; see DESIGN.md.
+func EulerString(t *Tree) []int32 {
+	out := make([]int32, 0, 2*t.Size())
+	type frame struct {
+		node  int32
+		child int32 // next child to visit, or None when ascending
+	}
+	stack := make([]frame, 0, 16)
+	root := t.Root()
+	out = append(out, 2*t.Nodes[root].Label)
+	stack = append(stack, frame{root, t.Nodes[root].FirstChild})
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.child == None {
+			out = append(out, 2*t.Nodes[top.node].Label+1)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		c := top.child
+		top.child = t.Nodes[c].NextSibling
+		out = append(out, 2*t.Nodes[c].Label)
+		stack = append(stack, frame{c, t.Nodes[c].FirstChild})
+	}
+	return out
+}
+
 // Depths returns the depth of every node (root depth is 0), indexed by node
 // id.
 func Depths(t *Tree) []int32 {

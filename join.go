@@ -5,11 +5,15 @@ import (
 
 	"treejoin/internal/baseline"
 	"treejoin/internal/core"
-	"treejoin/internal/sim"
+	"treejoin/internal/engine"
+	"treejoin/internal/pqgram"
 )
 
 // Method selects the join algorithm. All methods return identical result
-// sets; they differ in filtering strategy and therefore speed.
+// sets; they differ in filtering strategy and therefore speed. Every method
+// is a configuration of the same pipeline engine (a candidate source plus a
+// chain of sound lower-bound filters; see DESIGN.md), so all of them support
+// self joins, cross joins, parallel execution, and prefilter chaining alike.
 type Method int
 
 const (
@@ -30,6 +34,11 @@ const (
 	// MethodEulerString filters with the Euler-tour string edit distance
 	// lower bound, sed(E1,E2) ≤ 2·TED (Akutsu et al.).
 	MethodEulerString
+	// MethodPQGram filters with the Euler-tour q-gram bag lower bound,
+	// |G_q(T1) △ G_q(T2)| ≤ 4q·TED — the pq-gram machinery's exact-join
+	// cousin. (The pq-gram distance itself approximates TED without bounding
+	// it, so the approximate joins stay separate; see internal/pqgram.)
+	MethodPQGram
 )
 
 func (m Method) String() string {
@@ -46,19 +55,77 @@ func (m Method) String() string {
 		return "HIST"
 	case MethodEulerString:
 		return "EUL"
+	case MethodPQGram:
+		return "PQG"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
 }
 
+// Prefilter names a cheap pair-level filter stage that can be chained in
+// front of any join method with WithPrefilter. Each stage is a sound TED
+// lower bound, so chaining never changes the result set — only where the
+// pruning work happens (Stats.Stages reports each stage's kill count).
+type Prefilter int
+
+const (
+	// PrefilterHistogram is the statistics screen (MethodHistogram's
+	// filter): the cheapest test per pair, the natural first link.
+	PrefilterHistogram Prefilter = iota
+	// PrefilterSTR is the traversal-string screen (MethodSTR's filter).
+	PrefilterSTR
+	// PrefilterSET is the binary branch screen (MethodSET's filter).
+	PrefilterSET
+	// PrefilterEulerString is the Euler-string screen (MethodEulerString's
+	// filter).
+	PrefilterEulerString
+	// PrefilterPQGram is the Euler-gram bag screen (MethodPQGram's filter).
+	PrefilterPQGram
+)
+
+func (p Prefilter) String() string {
+	switch p {
+	case PrefilterHistogram:
+		return "HIST"
+	case PrefilterSTR:
+		return "STR"
+	case PrefilterSET:
+		return "SET"
+	case PrefilterEulerString:
+		return "EUL"
+	case PrefilterPQGram:
+		return "PQG"
+	default:
+		return fmt.Sprintf("Prefilter(%d)", int(p))
+	}
+}
+
+func (p Prefilter) stage() engine.PairFilter {
+	switch p {
+	case PrefilterHistogram:
+		return baseline.HISTFilter()
+	case PrefilterSTR:
+		return baseline.STRFilter()
+	case PrefilterSET:
+		return baseline.SETFilter()
+	case PrefilterEulerString:
+		return baseline.EULFilter()
+	case PrefilterPQGram:
+		return pqgram.Filter(0)
+	default:
+		panic(fmt.Sprintf("treejoin: unknown prefilter %d", int(p)))
+	}
+}
+
 type config struct {
-	method   Method
-	workers  int
-	shards   int
-	position core.PositionFilter
-	randPart bool
-	hybrid   bool
-	seed     int64
+	method     Method
+	workers    int
+	shards     int
+	position   core.PositionFilter
+	randPart   bool
+	hybrid     bool
+	seed       int64
+	prefilters []Prefilter
 }
 
 // Option customises a join call.
@@ -67,9 +134,11 @@ type Option func(*config)
 // WithMethod selects the join algorithm (default MethodPartSJ).
 func WithMethod(m Method) Option { return func(c *config) { c.method = m } }
 
-// WithWorkers verifies candidate pairs on n parallel goroutines (default 1,
-// sequential). Candidate generation itself is sequential in every method
-// unless WithShards is also given.
+// WithWorkers runs the join on n parallel goroutines (default 1,
+// sequential): TED verification for every method, plus candidate generation
+// for the nested-loop methods (whose probe loop shards freely) and PartSJ's
+// partitioning pre-pass. PartSJ's index probing itself parallelises only
+// under WithShards.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithShards decomposes a PartSJ self-join into n intra-shard joins plus the
@@ -77,9 +146,20 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // order) and runs the independent tasks on the WithWorkers pool — the
 // paper's §6 parallel/distributed direction. Results are identical to the
 // sequential join; total filtering work is higher (each task builds its own
-// index), wall-clock time lower once verification no longer dominates.
+// index), wall-clock time lower once a single core no longer keeps up.
 // Applies to SelfJoin with MethodPartSJ only.
 func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithPrefilter chains the given filter stages, in order, in front of the
+// selected method's own filtering. Every stage is a sound lower bound, so
+// results are unchanged; per-stage Stats.Stages attribution shows how many
+// candidates each stage killed. Chaining a cheap screen before an expensive
+// method (e.g. PrefilterHistogram before MethodPartSJ's subgraph matching,
+// or before MethodSTR's string joins) trades a linear precomputation for a
+// reduction in the expensive per-pair work.
+func WithPrefilter(fs ...Prefilter) Option {
+	return func(c *config) { c.prefilters = append(c.prefilters, fs...) }
+}
 
 // WithPaperPositionRanges makes PartSJ use the paper's τ−⌊k/2⌋ postorder
 // pruning ranges instead of the proven-sound ±τ default. Slightly fewer
@@ -131,6 +211,41 @@ func (c config) coreOptions(tau int) core.Options {
 	}
 }
 
+// job assembles the engine pipeline for the configured method: its candidate
+// source, the prefilter chain followed by the method's own filter, and the
+// execution knobs. This is the single dispatch point behind SelfJoin and
+// Join.
+func (c config) job(tau int) engine.Job {
+	filters := make([]engine.PairFilter, 0, len(c.prefilters)+1)
+	for _, p := range c.prefilters {
+		filters = append(filters, p.stage())
+	}
+	switch c.method {
+	case MethodPartSJ:
+		return c.coreOptions(tau).Job(c.shards, filters)
+	case MethodSTR:
+		filters = append(filters, baseline.STRFilter())
+	case MethodSET:
+		filters = append(filters, baseline.SETFilter())
+	case MethodHistogram:
+		filters = append(filters, baseline.HISTFilter())
+	case MethodEulerString:
+		filters = append(filters, baseline.EULFilter())
+	case MethodPQGram:
+		filters = append(filters, pqgram.Filter(0))
+	case MethodBruteForce:
+		// Size window only.
+	default:
+		panic(fmt.Sprintf("treejoin: unknown method %v", c.method))
+	}
+	return engine.Job{
+		Source:  engine.SortedLoop(),
+		Filters: filters,
+		Tau:     tau,
+		Workers: c.workers,
+	}
+}
+
 // SelfJoin reports every unordered pair of trees in ts whose tree edit
 // distance is at most tau, in ascending (I, J) order. All trees must share
 // one LabelTable.
@@ -139,41 +254,19 @@ func SelfJoin(ts []*Tree, tau int, opts ...Option) ([]Pair, Stats) {
 		panic(fmt.Sprintf("treejoin: negative threshold %d", tau))
 	}
 	c := buildConfig(opts)
-	var pairs []sim.Pair
-	var st *sim.Stats
-	switch c.method {
-	case MethodSTR:
-		pairs, st = baseline.STR(ts, baseline.Options{Tau: tau, Workers: c.workers})
-	case MethodSET:
-		pairs, st = baseline.SET(ts, baseline.Options{Tau: tau, Workers: c.workers})
-	case MethodBruteForce:
-		pairs, st = baseline.BruteForce(ts, baseline.Options{Tau: tau, Workers: c.workers})
-	case MethodHistogram:
-		pairs, st = baseline.HIST(ts, baseline.Options{Tau: tau, Workers: c.workers})
-	case MethodEulerString:
-		pairs, st = baseline.EUL(ts, baseline.Options{Tau: tau, Workers: c.workers})
-	default:
-		if c.shards > 1 {
-			pairs, st = core.ShardedSelfJoin(ts, c.shards, c.coreOptions(tau))
-		} else {
-			pairs, st = core.SelfJoin(ts, c.coreOptions(tau))
-		}
-	}
+	pairs, st := c.job(tau).SelfJoin(ts)
 	return pairs, *st
 }
 
 // Join reports every cross pair (a ∈ A, b ∈ B) within distance tau; Pair.I
-// indexes into a and Pair.J into b. Only MethodPartSJ supports cross joins.
-// Both collections must share one LabelTable.
+// indexes into a and Pair.J into b. Every method supports cross joins. Both
+// collections must share one LabelTable.
 func Join(a, b []*Tree, tau int, opts ...Option) ([]Pair, Stats) {
 	if tau < 0 {
 		panic(fmt.Sprintf("treejoin: negative threshold %d", tau))
 	}
 	c := buildConfig(opts)
-	if c.method != MethodPartSJ {
-		panic("treejoin: Join supports MethodPartSJ only")
-	}
-	pairs, st := core.Join(a, b, c.coreOptions(tau))
+	pairs, st := c.job(tau).Join(a, b)
 	return pairs, *st
 }
 

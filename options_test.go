@@ -27,13 +27,26 @@ func TestNegativeTauPanics(t *testing.T) {
 	}
 }
 
-func TestJoinRejectsBaselineMethods(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Join with MethodSTR should panic")
+func TestJoinSupportsEveryMethod(t *testing.T) {
+	// Historically Join panicked for every method but PartSJ; the engine
+	// refactor made cross joins universal. See cross_join_test.go for the
+	// oracle agreement property test.
+	lt := treejoin.NewLabelTable()
+	a := []*treejoin.Tree{treejoin.MustParseBracket("{a{b}{c}}", lt)}
+	b := []*treejoin.Tree{
+		treejoin.MustParseBracket("{a{b}{d}}", lt),
+		treejoin.MustParseBracket("{x{y{z{w}}}}", lt),
+	}
+	for _, m := range []treejoin.Method{
+		treejoin.MethodPartSJ, treejoin.MethodSTR, treejoin.MethodSET,
+		treejoin.MethodBruteForce, treejoin.MethodHistogram,
+		treejoin.MethodEulerString, treejoin.MethodPQGram,
+	} {
+		pairs, _ := treejoin.Join(a, b, 1, treejoin.WithMethod(m))
+		if len(pairs) != 1 || pairs[0].I != 0 || pairs[0].J != 0 || pairs[0].Dist != 1 {
+			t.Fatalf("%v: Join = %+v, want one (0,0,1) pair", m, pairs)
 		}
-	}()
-	treejoin.Join(nil, nil, 1, treejoin.WithMethod(treejoin.MethodSTR))
+	}
 }
 
 func TestUnknownMethodString(t *testing.T) {

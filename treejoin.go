@@ -65,8 +65,13 @@ type Node = tree.Node
 type Pair = sim.Pair
 
 // Stats reports where a join spent its time (candidate generation versus TED
-// verification) and the PartSJ filter counters.
+// verification), the PartSJ filter counters, and — when the join ran a
+// filter pipeline — per-stage attribution in Stages.
 type Stats = sim.Stats
+
+// StageStats attributes filtering work to one pipeline stage: how many pairs
+// it was offered and how many it killed (see WithPrefilter).
+type StageStats = sim.StageStats
 
 // XMLOptions controls XML-to-tree conversion.
 type XMLOptions = tree.XMLOptions
