@@ -4,7 +4,7 @@
 // Usage:
 //
 //	treejoin -input trees.txt -tau 2 [-method PRT|STR|SET|BF|HIST|EUL|PQG]
-//	         [-prefilter HIST,SET] [-workers 4] [-shards 4]
+//	         [-prefilter HIST,SET] [-workers 4] [-shards 4] [-timeout 30s]
 //	         [-format bracket|newick|binary] [-stats] [-quiet]
 //	treejoin -input a.txt -other b.txt -tau 2
 //	treejoin -input trees.txt -topk 10
@@ -19,13 +19,21 @@
 // method, and -stats attributes the pruning per stage. With -topk K the
 // threshold is ignored and the K closest pairs are printed instead. With
 // -stats, a summary of where the join spent its time follows on stderr.
+//
+// Joins are cancellable: -timeout bounds the run, and an interrupt (Ctrl-C)
+// stops it early. Either way the pairs found so far are printed and the
+// exit status is 1; threshold joins also print their partial per-stage
+// statistics to stderr (-topk aggregates rounds and has none to report).
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"treejoin"
@@ -43,6 +51,7 @@ func main() {
 		prefilter = flag.String("prefilter", "", "comma-separated filter stages to chain in front of the method (HIST, STR, SET, EUL, PQG)")
 		workers   = flag.Int("workers", 0, "parallel candidate-generation and TED-verification workers")
 		shards    = flag.Int("shards", 0, "decompose the PRT join into fragment-and-replicate shards")
+		timeout   = flag.Duration("timeout", 0, "abort the join after this duration (0: no limit)")
 		stats     = flag.Bool("stats", false, "print execution statistics to stderr")
 		quiet     = flag.Bool("quiet", false, "suppress pair output (useful with -stats)")
 	)
@@ -104,8 +113,29 @@ func main() {
 		opts = append(opts, treejoin.WithPrefilter(fs...))
 	}
 
+	// The run context: bounded by -timeout, cancelled by the first
+	// interrupt (a second interrupt kills the process the usual way).
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+	// Once the context is done (first interrupt or timeout), unregister the
+	// handler so a second interrupt kills the process the usual way instead
+	// of being swallowed while partial results print.
+	context.AfterFunc(ctx, stop)
+
+	corpus, err := treejoin.NewCorpus(ts)
+	if err != nil {
+		fail("%v", err)
+	}
+
 	var pairs []treejoin.Pair
 	var st treejoin.Stats
+	var runErr error
 	switch {
 	case *other != "":
 		if *topk > 0 {
@@ -120,7 +150,11 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		pairs, st = treejoin.Join(ts, bs, *tau, opts...)
+		otherCorpus, err := treejoin.NewCorpus(bs)
+		if err != nil {
+			fail("%v", err)
+		}
+		pairs, st, runErr = corpus.Join(ctx, otherCorpus, *tau, opts...)
 	case *topk > 0:
 		// TopK runs expanding-threshold PartSJ passes; reject flags it would
 		// silently ignore rather than pretend they took effect.
@@ -130,9 +164,13 @@ func main() {
 		if *prefilter != "" {
 			fail("-topk does not combine with -prefilter")
 		}
-		pairs = treejoin.TopK(ts, *topk, opts...)
+		pairs, runErr = corpus.TopK(ctx, *topk, opts...)
 	default:
-		pairs, st = treejoin.SelfJoin(ts, *tau, opts...)
+		pairs, st, runErr = corpus.SelfJoin(ctx, *tau, opts...)
+	}
+	interrupted := runErr != nil && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
+	if runErr != nil && !interrupted {
+		fail("%v", runErr)
 	}
 
 	if !*quiet {
@@ -144,22 +182,35 @@ func main() {
 			fail("%v", err)
 		}
 	}
-	if *stats && *topk == 0 {
-		fmt.Fprintf(os.Stderr, "trees:       %d\n", st.Trees)
-		fmt.Fprintf(os.Stderr, "method:      %s, tau=%d\n", m, *tau)
-		fmt.Fprintf(os.Stderr, "candidates:  %d\n", st.Candidates)
-		fmt.Fprintf(os.Stderr, "results:     %d\n", st.Results)
-		fmt.Fprintf(os.Stderr, "candgen:     %v\n", st.CandTime+st.PartitionTime)
-		fmt.Fprintf(os.Stderr, "verify:      %v\n", st.VerifyTime)
-		fmt.Fprintf(os.Stderr, "total:       %v\n", st.Total())
-		for _, stage := range st.Stages {
-			fmt.Fprintf(os.Stderr, "stage %-6s %d in, %d pruned, %d out\n",
-				stage.Name+":", stage.In, stage.Pruned, stage.Out())
-		}
-		if st.IndexedSubgraphs > 0 {
-			fmt.Fprintf(os.Stderr, "subgraphs:   %d indexed, %d probes, %d match tests (%d hits)\n",
-				st.IndexedSubgraphs, st.SubgraphProbes, st.MatchTests, st.MatchHits)
-		}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "treejoin: %v — results are partial\n", runErr)
+	}
+	if (*stats || interrupted) && *topk == 0 {
+		printStats(m, *tau, st)
+	}
+	if interrupted {
+		os.Exit(1)
+	}
+}
+
+// printStats writes the execution summary — including per-stage filter
+// attribution — to stderr. On an interrupted run the counters cover the
+// work done up to the abort.
+func printStats(m treejoin.Method, tau int, st treejoin.Stats) {
+	fmt.Fprintf(os.Stderr, "trees:       %d\n", st.Trees)
+	fmt.Fprintf(os.Stderr, "method:      %s, tau=%d\n", m, tau)
+	fmt.Fprintf(os.Stderr, "candidates:  %d\n", st.Candidates)
+	fmt.Fprintf(os.Stderr, "results:     %d\n", st.Results)
+	fmt.Fprintf(os.Stderr, "candgen:     %v\n", st.CandTime+st.PartitionTime)
+	fmt.Fprintf(os.Stderr, "verify:      %v\n", st.VerifyTime)
+	fmt.Fprintf(os.Stderr, "total:       %v\n", st.Total())
+	for _, stage := range st.Stages {
+		fmt.Fprintf(os.Stderr, "stage %-6s %d in, %d pruned, %d out\n",
+			stage.Name+":", stage.In, stage.Pruned, stage.Out())
+	}
+	if st.IndexedSubgraphs > 0 {
+		fmt.Fprintf(os.Stderr, "subgraphs:   %d indexed, %d probes, %d match tests (%d hits)\n",
+			st.IndexedSubgraphs, st.SubgraphProbes, st.MatchTests, st.MatchHits)
 	}
 }
 

@@ -1,0 +1,348 @@
+package treejoin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+
+	"treejoin/internal/core"
+	"treejoin/internal/engine"
+	"treejoin/internal/sim"
+	"treejoin/internal/tree"
+)
+
+// Errors returned by the Corpus API. The legacy free functions panic on the
+// same conditions; the Corpus surfaces them as wrapped sentinels so callers
+// can test with errors.Is.
+var (
+	// ErrNilTree reports a nil *Tree in a corpus or as a query.
+	ErrNilTree = errors.New("treejoin: nil tree")
+	// ErrLabelTable reports trees that do not share one LabelTable — within
+	// a corpus, across the two sides of a cross join, or between a query and
+	// the corpus it searches.
+	ErrLabelTable = errors.New("treejoin: trees do not share one LabelTable")
+	// ErrNegativeThreshold reports a TED threshold τ < 0.
+	ErrNegativeThreshold = errors.New("treejoin: negative threshold")
+	// ErrUnknownMethod reports a Method value that names no join algorithm.
+	ErrUnknownMethod = errors.New("treejoin: unknown method")
+	// ErrUnknownPrefilter reports a Prefilter value that names no stage.
+	ErrUnknownPrefilter = errors.New("treejoin: unknown prefilter")
+	// ErrNilCorpus reports a nil *Corpus argument.
+	ErrNilCorpus = errors.New("treejoin: nil corpus")
+	// ErrOptionConflict reports an option combination the operation cannot
+	// honor (e.g. WithMethod(MethodSTR) on a Search, which always runs on
+	// the PartSJ index).
+	ErrOptionConflict = errors.New("treejoin: conflicting options")
+)
+
+// CacheStats reports the effectiveness of a corpus's signature cache: Hits
+// and Misses count per-tree artifact lookups, Entries the artifacts
+// currently retained. A warm corpus re-joined at a new threshold shows
+// Misses frozen — zero per-tree signature recomputation.
+type CacheStats = engine.CacheStats
+
+// Corpus is the primary entry point for joining and querying a fixed
+// collection of trees: construct it once, query it many times. All trees
+// must share one LabelTable (validated — NewCorpus returns an error instead
+// of producing silently wrong joins).
+//
+// The corpus owns a signature cache: every per-tree artifact any query
+// computes — traversal strings, histograms, Euler strings and gram bags,
+// binary views, δ-partitions — is cached by (artifact, tree) and reused by
+// every later query, whatever its threshold or method. A second SelfJoin at
+// a different τ recomputes no per-tree signature; only the τ-dependent pair
+// predicates and candidate enumeration run again. Search and KNN queries
+// additionally share a small LRU of per-threshold PartSJ indexes (see
+// WithIndexCacheCap). The cache never evicts: its memory is bounded by the
+// filter kinds and PartSJ thresholds actually queried (see DESIGN.md,
+// "The corpus artifact cache"); workloads sweeping unboundedly many
+// distinct thresholds should recycle the corpus, whose only state is this
+// cache.
+//
+// Every query takes a context.Context: cancellation or deadline expiry
+// aborts the engine's candidate loops, worker pools, and verification stage
+// promptly, returning ctx's error together with whatever partial results and
+// statistics had accumulated. The Seq variants stream results as the
+// pipeline verifies them, in no particular order, with constant result
+// memory — ranging over a handful of pairs and breaking early cancels the
+// rest of the join.
+//
+// A Corpus is immutable after construction and safe for concurrent use.
+type Corpus struct {
+	ts       []*Tree
+	lt       *LabelTable
+	cache    *engine.Cache
+	members  map[*Tree]struct{} // for routing cross-join artifacts by owner
+	indexCap int
+
+	mu        sync.Mutex
+	searchers map[searcherKey]*core.KNN
+}
+
+// searcherKey identifies one index configuration of the per-corpus search
+// machinery: queries differing only in threshold share a searcher (and its
+// per-threshold index LRU).
+type searcherKey struct {
+	pos    core.PositionFilter
+	hybrid bool
+}
+
+// NewCorpus validates ts (no nil trees, one shared LabelTable) and returns a
+// corpus over it. The slice is copied; the trees are shared, which is safe —
+// trees are immutable. Corpus-level options are applied here (currently
+// WithIndexCacheCap); per-query options go to the individual calls.
+func NewCorpus(ts []*Tree, opts ...Option) (*Corpus, error) {
+	c := buildConfig(opts)
+	cp := &Corpus{
+		ts:        make([]*Tree, len(ts)),
+		cache:     engine.NewCache(),
+		members:   make(map[*Tree]struct{}, len(ts)),
+		indexCap:  c.indexCap,
+		searchers: make(map[searcherKey]*core.KNN),
+	}
+	copy(cp.ts, ts)
+	for i, t := range cp.ts {
+		if t == nil {
+			return nil, fmt.Errorf("%w at index %d", ErrNilTree, i)
+		}
+		if cp.lt == nil {
+			cp.lt = t.Labels
+		} else if t.Labels != cp.lt {
+			return nil, fmt.Errorf("%w (tree %d)", ErrLabelTable, i)
+		}
+		cp.members[t] = struct{}{}
+	}
+	return cp, nil
+}
+
+// Len returns the number of trees in the corpus.
+func (cp *Corpus) Len() int { return len(cp.ts) }
+
+// Tree returns the i-th corpus tree.
+func (cp *Corpus) Tree(i int) *Tree { return cp.ts[i] }
+
+// CacheStats returns a snapshot of the corpus's signature-cache counters.
+func (cp *Corpus) CacheStats() CacheStats { return cp.cache.Stats() }
+
+// SelfJoin reports every unordered pair of corpus trees whose tree edit
+// distance is at most tau, in ascending (I, J) order, with execution
+// statistics. Per-tree signatures come from the corpus cache — a repeat join
+// at any threshold recomputes none of them. On cancellation it returns the
+// pairs found so far (still sorted), the partial statistics, and ctx's
+// error.
+func (cp *Corpus) SelfJoin(ctx context.Context, tau int, opts ...Option) ([]Pair, Stats, error) {
+	c := buildConfig(opts)
+	job, err := c.jobChecked(tau)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	job.Cache = cp.cache
+	var pairs []Pair
+	st, err := job.StreamSelf(ctx, cp.ts, func(p Pair) bool {
+		pairs = append(pairs, p)
+		return true
+	})
+	sim.SortPairs(pairs)
+	c.publishStats(st)
+	return pairs, *st, err
+}
+
+// SelfJoinSeq is the streaming SelfJoin: it returns a sequence that runs the
+// join when ranged over, yielding each verified pair as the pipeline
+// produces it — constant result memory, no ordering guarantee (sort the
+// collected pairs, or use SelfJoin, for the canonical order). Breaking out
+// of the range stops the join; ranging again re-runs it (cheaply, against
+// the warm cache). Use WithStats to receive the run's statistics after the
+// sequence ends. Option and threshold validation happens eagerly, before the
+// sequence is returned; cancellation simply ends the sequence early — check
+// ctx.Err() afterwards to distinguish completion from abort.
+func (cp *Corpus) SelfJoinSeq(ctx context.Context, tau int, opts ...Option) (iter.Seq[Pair], error) {
+	c := buildConfig(opts)
+	job, err := c.jobChecked(tau)
+	if err != nil {
+		return nil, err
+	}
+	job.Cache = cp.cache
+	return func(yield func(Pair) bool) {
+		st, _ := job.StreamSelf(ctx, cp.ts, sim.EmitFunc(yield))
+		c.publishStats(st)
+	}, nil
+}
+
+// Join reports every cross pair (a ∈ this corpus, b ∈ other) within
+// distance tau; Pair.I indexes into the receiver and Pair.J into other. The
+// corpora must share one LabelTable (validated). Signatures for both sides
+// are drawn from — and cached in — the receiver's cache, so repeated joins
+// against the same partner warm up too.
+func (cp *Corpus) Join(ctx context.Context, other *Corpus, tau int, opts ...Option) ([]Pair, Stats, error) {
+	c := buildConfig(opts)
+	job, err := cp.crossJob(c, other, tau)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var pairs []Pair
+	st, err := job.StreamJoin(ctx, cp.ts, other.ts, func(p Pair) bool {
+		pairs = append(pairs, p)
+		return true
+	})
+	sim.SortPairs(pairs)
+	c.publishStats(st)
+	return pairs, *st, err
+}
+
+// JoinSeq is the streaming Join, with SelfJoinSeq's contract.
+func (cp *Corpus) JoinSeq(ctx context.Context, other *Corpus, tau int, opts ...Option) (iter.Seq[Pair], error) {
+	c := buildConfig(opts)
+	job, err := cp.crossJob(c, other, tau)
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(Pair) bool) {
+		st, _ := job.StreamJoin(ctx, cp.ts, other.ts, sim.EmitFunc(yield))
+		c.publishStats(st)
+	}, nil
+}
+
+// crossJob validates a cross join against other and assembles its job. The
+// run's cache routes each tree's artifacts to the corpus that owns it, so
+// both sides warm their own caches and neither retains (and pins) the
+// other's trees; trees belonging to neither side land in the receiver's.
+func (cp *Corpus) crossJob(c config, other *Corpus, tau int) (engine.Job, error) {
+	if other == nil {
+		return engine.Job{}, ErrNilCorpus
+	}
+	if cp.lt != nil && other.lt != nil && cp.lt != other.lt {
+		return engine.Job{}, fmt.Errorf("%w (cross join)", ErrLabelTable)
+	}
+	job, err := c.jobChecked(tau)
+	if err != nil {
+		return engine.Job{}, err
+	}
+	job.Cache = engine.RoutedCache(func(t *tree.Tree) *engine.Cache {
+		if _, ok := cp.members[t]; ok {
+			return cp.cache
+		}
+		if _, ok := other.members[t]; ok {
+			return other.cache
+		}
+		return cp.cache
+	})
+	return job, nil
+}
+
+// Search reports every corpus tree within TED tau of q, in ascending corpus
+// order. The per-threshold PartSJ index is built on first use and retained
+// in the corpus's index LRU, so repeated searches at the same threshold pay
+// only probing and verification. Search always runs on the PartSJ index;
+// WithMethod, WithPrefilter, and WithShards conflict with it.
+func (cp *Corpus) Search(ctx context.Context, q *Tree, tau int, opts ...Option) ([]Match, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("%w %d", ErrNegativeThreshold, tau)
+	}
+	c, err := cp.queryConfig(q, "Search", opts)
+	if err != nil {
+		return nil, err
+	}
+	return cp.searcher(c).IndexAt(tau).SearchCtx(ctx, q)
+}
+
+// TopK returns the k closest pairs of the corpus by TED, ordered by
+// (Dist, I, J) — the threshold-free SelfJoin. It runs PartSJ at
+// geometrically increasing thresholds until k pairs are in reach; fewer than
+// k pairs come back only when the corpus has fewer than k pairs in total.
+// All rounds draw on the corpus cache, and WithWorkers/WithShards
+// parallelise them. On cancellation it returns the pairs the aborted round
+// had found (best-effort, not necessarily the global top k) and ctx's
+// error. TopK always runs PartSJ; WithMethod and WithPrefilter conflict
+// with it.
+func (cp *Corpus) TopK(ctx context.Context, k int, opts ...Option) ([]Pair, error) {
+	c := buildConfig(opts)
+	if err := c.requirePartSJ("TopK", true); err != nil {
+		return nil, err
+	}
+	return core.TopKCtx(ctx, cp.ts, k, c.coreOptions(0), c.shards, cp.cache)
+}
+
+// KNN returns the k corpus trees closest to q by TED, ordered by
+// (Dist, Pos), with no threshold required. It searches per-threshold indexes
+// at expanding thresholds, sharing Search's index LRU, so a query workload
+// settles into reusing a handful of them. Fewer than k matches are returned
+// only when the corpus holds fewer than k trees. KNN always runs on the
+// PartSJ index; WithMethod, WithPrefilter, and WithShards conflict with
+// it.
+func (cp *Corpus) KNN(ctx context.Context, q *Tree, k int, opts ...Option) ([]Match, error) {
+	c, err := cp.queryConfig(q, "KNN", opts)
+	if err != nil {
+		return nil, err
+	}
+	return cp.searcher(c).NearestCtx(ctx, q, k)
+}
+
+// Incremental returns an empty streaming join with threshold tau that shares
+// the corpus's signature cache: trees the corpus has already joined (or that
+// were added before) enter the stream without recomputing their binary view
+// or partition. The stream itself starts empty — it does not contain the
+// corpus trees.
+func (cp *Corpus) Incremental(tau int, opts ...Option) (*Incremental, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("%w %d", ErrNegativeThreshold, tau)
+	}
+	c := buildConfig(opts)
+	if err := c.requirePartSJ("Incremental", false); err != nil {
+		return nil, err
+	}
+	return &Incremental{inner: core.NewIncrementalCached(c.coreOptions(tau), cp.cache)}, nil
+}
+
+// queryConfig validates a query tree and the options of an index-backed
+// query (Search, KNN).
+func (cp *Corpus) queryConfig(q *Tree, op string, opts []Option) (config, error) {
+	c := buildConfig(opts)
+	if q == nil {
+		return c, fmt.Errorf("%w (query)", ErrNilTree)
+	}
+	if cp.lt != nil && q.Labels != cp.lt {
+		return c, fmt.Errorf("%w (query)", ErrLabelTable)
+	}
+	if err := c.requirePartSJ(op, false); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// requirePartSJ rejects options an index-backed or expanding-threshold
+// operation cannot honor. allowShards permits WithShards where the
+// underlying runs are shardable engine joins (TopK).
+func (c config) requirePartSJ(op string, allowShards bool) error {
+	if c.method != MethodPartSJ {
+		return fmt.Errorf("%w: %s supports MethodPartSJ only", ErrOptionConflict, op)
+	}
+	if len(c.prefilters) > 0 {
+		return fmt.Errorf("%w: %s does not take prefilters", ErrOptionConflict, op)
+	}
+	if !allowShards && c.shards > 1 {
+		return fmt.Errorf("%w: %s does not shard", ErrOptionConflict, op)
+	}
+	return nil
+}
+
+// searcher returns the index machinery for c's index configuration,
+// creating it on first use.
+func (cp *Corpus) searcher(c config) *core.KNN {
+	key := searcherKey{pos: c.position, hybrid: c.hybrid}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	s := cp.searchers[key]
+	if s == nil {
+		capacity := cp.indexCap
+		if capacity < 1 {
+			capacity = core.DefaultIndexCacheCap
+		}
+		o := c.coreOptions(1) // Tau here only seeds KNN's expanding search
+		s = core.NewKNNCached(cp.ts, o, cp.cache, capacity)
+		cp.searchers[key] = s
+	}
+	return s
+}

@@ -1,0 +1,489 @@
+// Tests for the Corpus API: construction validation, error returns where
+// the legacy wrappers panic, corpus-versus-legacy result equality across
+// methods and prefilter chains, streaming-versus-slice equality, prompt
+// cancellation without goroutine leaks, and warm-cache reuse (a second join
+// at a different threshold recomputes no per-tree signature).
+package treejoin_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"treejoin"
+	"treejoin/internal/synth"
+)
+
+func mustCorpus(t *testing.T, ts []*treejoin.Tree) *treejoin.Corpus {
+	t.Helper()
+	cp, err := treejoin.NewCorpus(ts)
+	if err != nil {
+		t.Fatalf("NewCorpus: %v", err)
+	}
+	return cp
+}
+
+func sortPairs(ps []treejoin.Pair) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].I != ps[b].I {
+			return ps[a].I < ps[b].I
+		}
+		return ps[a].J < ps[b].J
+	})
+}
+
+func TestNewCorpusValidation(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	a := treejoin.MustParseBracket("{a{b}}", lt)
+	b := treejoin.MustParseBracket("{a{c}}", lt)
+
+	if _, err := treejoin.NewCorpus([]*treejoin.Tree{a, nil, b}); !errors.Is(err, treejoin.ErrNilTree) {
+		t.Fatalf("nil tree: err = %v, want ErrNilTree", err)
+	}
+	other := treejoin.MustParseBracket("{a{b}}", treejoin.NewLabelTable())
+	if _, err := treejoin.NewCorpus([]*treejoin.Tree{a, other}); !errors.Is(err, treejoin.ErrLabelTable) {
+		t.Fatalf("mixed tables: err = %v, want ErrLabelTable", err)
+	}
+	empty, err := treejoin.NewCorpus(nil)
+	if err != nil {
+		t.Fatalf("empty corpus: %v", err)
+	}
+	pairs, _, err := empty.SelfJoin(context.Background(), 1)
+	if err != nil || len(pairs) != 0 {
+		t.Fatalf("empty corpus join: pairs=%v err=%v", pairs, err)
+	}
+
+	// The corpus copies the slice: mutating the argument afterwards must not
+	// change the corpus.
+	src := []*treejoin.Tree{a, b}
+	cp := mustCorpus(t, src)
+	src[0] = nil
+	if cp.Len() != 2 || cp.Tree(0) == nil {
+		t.Fatal("corpus aliases the caller's slice")
+	}
+}
+
+func TestCorpusErrorsWhereLegacyPanics(t *testing.T) {
+	ctx := context.Background()
+	lt := treejoin.NewLabelTable()
+	ts := []*treejoin.Tree{
+		treejoin.MustParseBracket("{a{b}}", lt),
+		treejoin.MustParseBracket("{a{c}}", lt),
+	}
+	cp := mustCorpus(t, ts)
+
+	if _, _, err := cp.SelfJoin(ctx, -1); !errors.Is(err, treejoin.ErrNegativeThreshold) {
+		t.Errorf("negative tau: err = %v, want ErrNegativeThreshold", err)
+	}
+	if _, err := cp.SelfJoinSeq(ctx, -3); !errors.Is(err, treejoin.ErrNegativeThreshold) {
+		t.Errorf("negative tau (seq): err = %v, want ErrNegativeThreshold", err)
+	}
+	if _, _, err := cp.SelfJoin(ctx, 1, treejoin.WithMethod(treejoin.Method(99))); !errors.Is(err, treejoin.ErrUnknownMethod) {
+		t.Errorf("unknown method: err = %v, want ErrUnknownMethod", err)
+	}
+	if _, _, err := cp.SelfJoin(ctx, 1, treejoin.WithPrefilter(treejoin.Prefilter(42))); !errors.Is(err, treejoin.ErrUnknownPrefilter) {
+		t.Errorf("unknown prefilter: err = %v, want ErrUnknownPrefilter", err)
+	}
+	if _, _, err := cp.Join(ctx, nil, 1); !errors.Is(err, treejoin.ErrNilCorpus) {
+		t.Errorf("nil other: err = %v, want ErrNilCorpus", err)
+	}
+	foreign := mustCorpus(t, []*treejoin.Tree{treejoin.MustParseBracket("{a}", treejoin.NewLabelTable())})
+	if _, _, err := cp.Join(ctx, foreign, 1); !errors.Is(err, treejoin.ErrLabelTable) {
+		t.Errorf("cross tables: err = %v, want ErrLabelTable", err)
+	}
+	if _, err := cp.Search(ctx, nil, 1); !errors.Is(err, treejoin.ErrNilTree) {
+		t.Errorf("nil query: err = %v, want ErrNilTree", err)
+	}
+	q := treejoin.MustParseBracket("{a{b}}", treejoin.NewLabelTable())
+	if _, err := cp.Search(ctx, q, 1); !errors.Is(err, treejoin.ErrLabelTable) {
+		t.Errorf("foreign query: err = %v, want ErrLabelTable", err)
+	}
+	if _, err := cp.Search(ctx, ts[0], -1); !errors.Is(err, treejoin.ErrNegativeThreshold) {
+		t.Errorf("negative search tau: err = %v, want ErrNegativeThreshold", err)
+	}
+	if _, err := cp.Search(ctx, ts[0], 1, treejoin.WithMethod(treejoin.MethodSTR)); !errors.Is(err, treejoin.ErrOptionConflict) {
+		t.Errorf("search with method: err = %v, want ErrOptionConflict", err)
+	}
+	if _, err := cp.TopK(ctx, 1, treejoin.WithPrefilter(treejoin.PrefilterHistogram)); !errors.Is(err, treejoin.ErrOptionConflict) {
+		t.Errorf("topk with prefilter: err = %v, want ErrOptionConflict", err)
+	}
+	if _, err := cp.KNN(ctx, ts[0], 1, treejoin.WithMethod(treejoin.MethodSET)); !errors.Is(err, treejoin.ErrOptionConflict) {
+		t.Errorf("knn with method: err = %v, want ErrOptionConflict", err)
+	}
+	if _, err := cp.Incremental(-1); !errors.Is(err, treejoin.ErrNegativeThreshold) {
+		t.Errorf("incremental negative tau: err = %v, want ErrNegativeThreshold", err)
+	}
+
+	// The legacy wrappers keep the documented panicking contract.
+	for _, fn := range []func(){
+		func() { treejoin.SelfJoin(ts, -1) },
+		func() { treejoin.SelfJoin(ts, 1, treejoin.WithMethod(treejoin.Method(99))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("legacy wrapper did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestCorpusMatchesLegacy: the Corpus slice and streaming APIs return
+// exactly the legacy free functions' pair sets, for every method and for
+// prefilter chains, on self and cross joins.
+func TestCorpusMatchesLegacy(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Synthetic(60, 11)
+	cp := mustCorpus(t, ts)
+	const tau = 2
+	for _, m := range allMethods {
+		want, _ := treejoin.SelfJoin(ts, tau, treejoin.WithMethod(m))
+		got, _, err := cp.SelfJoin(ctx, tau, treejoin.WithMethod(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		samePairs(t, "corpus self "+m.String(), got, want)
+
+		seq, err := cp.SelfJoinSeq(ctx, tau, treejoin.WithMethod(m))
+		if err != nil {
+			t.Fatalf("%v seq: %v", m, err)
+		}
+		var streamed []treejoin.Pair
+		for p := range seq {
+			streamed = append(streamed, p)
+		}
+		sortPairs(streamed)
+		samePairs(t, "corpus stream "+m.String(), streamed, want)
+	}
+
+	chains := [][]treejoin.Prefilter{
+		{treejoin.PrefilterHistogram},
+		{treejoin.PrefilterHistogram, treejoin.PrefilterSTR},
+		{treejoin.PrefilterSET, treejoin.PrefilterEulerString, treejoin.PrefilterPQGram},
+	}
+	for _, m := range []treejoin.Method{treejoin.MethodPartSJ, treejoin.MethodSTR} {
+		for ci, chain := range chains {
+			want, _ := treejoin.SelfJoin(ts, tau, treejoin.WithMethod(m), treejoin.WithPrefilter(chain...))
+			got, _, err := cp.SelfJoin(ctx, tau, treejoin.WithMethod(m), treejoin.WithPrefilter(chain...))
+			if err != nil {
+				t.Fatalf("%v chain %d: %v", m, ci, err)
+			}
+			samePairs(t, "corpus chain", got, want)
+		}
+	}
+
+	// Cross joins, including the streaming form.
+	a, b := ts[:25], ts[25:]
+	ca, cb := mustCorpus(t, a), mustCorpus(t, b)
+	for _, m := range []treejoin.Method{treejoin.MethodPartSJ, treejoin.MethodHistogram} {
+		want, _ := treejoin.Join(a, b, tau, treejoin.WithMethod(m))
+		got, _, err := ca.Join(ctx, cb, tau, treejoin.WithMethod(m))
+		if err != nil {
+			t.Fatalf("cross %v: %v", m, err)
+		}
+		samePairs(t, "corpus cross "+m.String(), got, want)
+
+		seq, err := ca.JoinSeq(ctx, cb, tau, treejoin.WithMethod(m))
+		if err != nil {
+			t.Fatalf("cross %v seq: %v", m, err)
+		}
+		var streamed []treejoin.Pair
+		for p := range seq {
+			streamed = append(streamed, p)
+		}
+		sortPairs(streamed)
+		samePairs(t, "corpus cross stream "+m.String(), streamed, want)
+	}
+
+	// Cross-join artifacts route to the corpus that owns each tree: the
+	// other side's cache warms too, and a repeat cross join recomputes no
+	// signatures on either side.
+	if st := cb.CacheStats(); st.Entries == 0 {
+		t.Error("cross join left the other corpus's cache cold")
+	}
+	missesA, missesB := ca.CacheStats().Misses, cb.CacheStats().Misses
+	if _, _, err := ca.Join(ctx, cb, tau, treejoin.WithMethod(treejoin.MethodHistogram)); err != nil {
+		t.Fatal(err)
+	}
+	if ca.CacheStats().Misses != missesA || cb.CacheStats().Misses != missesB {
+		t.Error("repeat cross join recomputed signatures")
+	}
+
+	// Parallel and sharded execution through the corpus.
+	want, _ := treejoin.SelfJoin(ts, tau)
+	got, _, err := cp.SelfJoin(ctx, tau, treejoin.WithWorkers(4), treejoin.WithShards(3))
+	if err != nil {
+		t.Fatalf("sharded: %v", err)
+	}
+	samePairs(t, "corpus sharded", got, want)
+}
+
+// TestCorpusWarmCache: after the first join, a second join at a *different*
+// threshold performs zero per-tree signature recomputation for every
+// signature-based method, and a repeated PartSJ join at the same threshold
+// recomputes nothing at all.
+func TestCorpusWarmCache(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Synthetic(40, 7)
+
+	sigMethods := []treejoin.Method{
+		treejoin.MethodSTR, treejoin.MethodSET, treejoin.MethodHistogram,
+		treejoin.MethodEulerString, treejoin.MethodPQGram,
+	}
+	for _, m := range sigMethods {
+		cp := mustCorpus(t, ts)
+		if _, _, err := cp.SelfJoin(ctx, 1, treejoin.WithMethod(m)); err != nil {
+			t.Fatal(err)
+		}
+		cold := cp.CacheStats()
+		if cold.Misses == 0 {
+			t.Fatalf("%v: cold join recorded no cache misses", m)
+		}
+		if _, _, err := cp.SelfJoin(ctx, 3, treejoin.WithMethod(m)); err != nil {
+			t.Fatal(err)
+		}
+		warm := cp.CacheStats()
+		if warm.Misses != cold.Misses {
+			t.Errorf("%v: second join at new tau recomputed %d signatures", m, warm.Misses-cold.Misses)
+		}
+		if warm.Hits <= cold.Hits {
+			t.Errorf("%v: second join did not hit the cache (hits %d -> %d)", m, cold.Hits, warm.Hits)
+		}
+	}
+
+	// PartSJ: same threshold → views and partitions both reused; different
+	// threshold → only the τ-dependent partitions rebuild, never the views.
+	cp := mustCorpus(t, ts)
+	if _, _, err := cp.SelfJoin(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	cold := cp.CacheStats()
+	if _, _, err := cp.SelfJoin(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	warm := cp.CacheStats()
+	if warm.Misses != cold.Misses {
+		t.Errorf("PartSJ repeat at same tau recomputed %d artifacts", warm.Misses-cold.Misses)
+	}
+	if _, _, err := cp.SelfJoin(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	other := cp.CacheStats()
+	if recomputed := other.Misses - warm.Misses; recomputed > int64(len(ts)) {
+		t.Errorf("PartSJ at new tau recomputed %d artifacts, want at most %d partitions", recomputed, len(ts))
+	}
+}
+
+// TestCorpusStreamingEarlyStop: breaking out of a streaming join stops it —
+// the sequence never yields more, goroutines drain, and a full re-range
+// still produces the complete result set.
+func TestCorpusStreamingEarlyStop(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Sentiment(60, 5)
+	cp := mustCorpus(t, ts)
+	const tau = 3
+
+	full, _, err := cp.SelfJoin(ctx, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 5 {
+		t.Skipf("collection too sparse for the early-stop test: %d pairs", len(full))
+	}
+
+	seq, err := cp.SelfJoinSeq(ctx, tau, treejoin.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed int
+	for range seq {
+		streamed++
+		if streamed == 2 {
+			break
+		}
+	}
+	if streamed != 2 {
+		t.Fatalf("streamed %d pairs, want 2", streamed)
+	}
+
+	// Ranging again re-runs the join in full against the warm cache.
+	var again []treejoin.Pair
+	for p := range seq {
+		again = append(again, p)
+	}
+	sortPairs(again)
+	samePairs(t, "re-range", again, full)
+}
+
+// TestCorpusCancellation: a cancelled context aborts slice and streaming
+// joins promptly with the context error and partial results, and leaves no
+// goroutines behind.
+func TestCorpusCancellation(t *testing.T) {
+	ts := synth.Sentiment(80, 9)
+	cp := mustCorpus(t, ts)
+	const tau = 3
+
+	before := runtime.NumGoroutine()
+
+	// Cancelled before the join starts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pairs, st, err := cp.SelfJoin(ctx, tau, treejoin.WithWorkers(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v, want context.Canceled", err)
+	}
+	if st.Trees != len(ts) {
+		t.Errorf("partial stats missing collection size: %+v", st)
+	}
+	_ = pairs // partial (likely empty) results are fine
+
+	// Cancelled mid-stream: the sequence ends early.
+	full, _, err := cp.SelfJoin(context.Background(), tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) >= 10 {
+		ctx, cancel := context.WithCancel(context.Background())
+		seq, err := cp.SelfJoinSeq(ctx, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed int
+		for range seq {
+			streamed++
+			if streamed == 1 {
+				cancel()
+			}
+		}
+		if streamed == len(full) {
+			t.Errorf("cancellation mid-stream still yielded all %d pairs", streamed)
+		}
+		cancel()
+	}
+
+	// A deadline in the past behaves like cancellation.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, _, err := cp.SelfJoin(dctx, tau); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := cp.Search(dctx, ts[0], 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("search with expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := cp.KNN(dctx, ts[0], 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("knn with expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := cp.TopK(dctx, 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("topk with expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// All worker goroutines must have drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, now)
+	}
+}
+
+// TestCorpusQueriesMatchLegacy: Search, TopK and KNN through the corpus
+// agree with the legacy Index/TopK/KNN entry points.
+func TestCorpusQueriesMatchLegacy(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Synthetic(40, 13)
+	cp := mustCorpus(t, ts)
+	const tau = 2
+
+	legacyIx := treejoin.NewIndex(ts, tau)
+	for _, q := range ts[:5] {
+		want := legacyIx.Search(q)
+		got, err := cp.Search(ctx, q, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("search: %d matches, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("search match %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+
+	wantTop := treejoin.TopK(ts, 5)
+	gotTop, err := cp.TopK(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "corpus topk", gotTop, wantTop)
+
+	legacyKNN := treejoin.NewKNN(ts)
+	for _, q := range ts[:3] {
+		want := legacyKNN.Nearest(q, 4)
+		got, err := cp.KNN(ctx, q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("knn: %d matches, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("knn match %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+
+	// Corpus.Incremental behaves like the legacy stream.
+	inc, err := cp.Incremental(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyInc := treejoin.NewIncremental(tau)
+	for _, tr := range ts[:20] {
+		got := inc.Add(tr)
+		want := legacyInc.Add(tr)
+		if len(got) != len(want) {
+			t.Fatalf("incremental: %d pairs, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("incremental pair %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCorpusWithStats: the WithStats option delivers statistics for
+// streaming runs, matching the slice API's counters.
+func TestCorpusWithStats(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Synthetic(40, 3)
+	cp := mustCorpus(t, ts)
+
+	var st treejoin.Stats
+	seq, err := cp.SelfJoinSeq(ctx, 2, treejoin.WithStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for range seq {
+		n++
+	}
+	if st.Results != n {
+		t.Errorf("WithStats Results = %d, want %d", st.Results, n)
+	}
+	if st.Trees != len(ts) {
+		t.Errorf("WithStats Trees = %d, want %d", st.Trees, len(ts))
+	}
+	if st.Candidates < n {
+		t.Errorf("WithStats Candidates = %d < results %d", st.Candidates, n)
+	}
+}

@@ -1,13 +1,15 @@
 // catalogmatch joins two different product catalogs — the paper's data
 // integration motivation: "vendors could be interested in knowing similar
 // items that are sold at other stores in order to find potential
-// competitors". Unlike the self-join examples, this uses the non-self join
-// Join(A, B), which only reports cross pairs.
+// competitors". Unlike the self-join examples, this uses the cross join
+// Corpus.Join(other), which only reports cross pairs; each catalog is its
+// own Corpus, and the join validates that they share a label table.
 //
 //	go run ./examples/catalogmatch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,8 +47,20 @@ func main() {
 	a := parse(storeA)
 	b := parse(storeB)
 
+	catalogA, err := treejoin.NewCorpus(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalogB, err := treejoin.NewCorpus(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	const tau = 2
-	pairs, stats := treejoin.Join(a, b, tau)
+	pairs, stats, err := catalogA.Join(context.Background(), catalogB, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("matched %d cross-catalog pair(s) within %d edits (verified %d candidates):\n\n",
 		len(pairs), tau, stats.Candidates)
 	for _, p := range pairs {

@@ -1,11 +1,14 @@
-// Quickstart: build a few trees, compute tree edit distances, run a
-// similarity self-join, and use the streaming (incremental) join.
+// Quickstart: build a few trees, compute tree edit distances, construct a
+// Corpus, and run its query family — slice joins, streaming joins, search,
+// and the incremental join.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"treejoin"
 )
@@ -28,24 +31,60 @@ func main() {
 
 	fmt.Println("TED(a, doc) =", treejoin.Distance(a, doc)) // one rename
 
-	// A self-join over a small collection: find all pairs within distance 2.
+	// A corpus is built once and queried many times; construction validates
+	// the shared label table.
 	docs := []*treejoin.Tree{
 		a,
 		doc,
 		treejoin.MustParseBracket("{article{title{Similarity Joins}}{year{2016}}}", lt),
 		treejoin.MustParseBracket("{book{title{Databases}}{isbn{42}}{year{1999}}}", lt),
 	}
-	pairs, stats := treejoin.SelfJoin(docs, 2)
+	corpus, err := treejoin.NewCorpus(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// All pairs within distance 2, materialised and sorted.
+	pairs, stats, err := corpus.SelfJoin(ctx, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("join found %d pairs (verified %d candidates):\n", len(pairs), stats.Candidates)
 	for _, p := range pairs {
 		fmt.Printf("  %s ~ %s (distance %d)\n",
 			treejoin.FormatBracket(docs[p.I]), treejoin.FormatBracket(docs[p.J]), p.Dist)
 	}
 
-	// Streaming: each Add reports the newcomer's matches among earlier trees.
-	stream := treejoin.NewIncremental(1)
+	// A second query at a different threshold reuses every cached per-tree
+	// signature — only the threshold-dependent filtering runs again.
+	seq, err := corpus.SelfJoinSeq(ctx, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for p := range seq {
+		fmt.Printf("streamed pair within 1: %d ~ %d\n", p.I, p.J)
+		break // breaking out cancels the rest of the join
+	}
+	cs := corpus.CacheStats()
+	fmt.Printf("signature cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
+
+	// Similarity search against the corpus.
+	q := treejoin.MustParseBracket("{article{title{Similarity Join}}{year{2015}}}", lt)
+	matches, err := corpus.Search(ctx, q, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search found %d tree(s) within 2 of the query\n", len(matches))
+
+	// Streaming: each Add reports the newcomer's matches among earlier
+	// trees; the stream shares the corpus's signature cache.
+	stream, err := corpus.Incremental(1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, d := range docs {
-		matches := stream.Add(d)
-		fmt.Printf("streamed tree %d: %d match(es)\n", stream.Len()-1, len(matches))
+		ms := stream.Add(d)
+		fmt.Printf("streamed tree %d: %d match(es)\n", stream.Len()-1, len(ms))
 	}
 }

@@ -13,6 +13,17 @@ import (
 // other method (the public WithPrefilter option), or as one link of a
 // cheap-to-expensive filter cascade. Every predicate is a sound TED lower
 // bound test: it prunes a pair only when the bound proves TED > τ.
+//
+// The per-tree signatures (traversal strings, branch vectors, histogram
+// profiles, Euler strings) do not depend on τ, so Prepare fetches them
+// through the run's artifact cache: a corpus-backed join computes each tree's
+// signature once, ever, and later joins at any threshold reuse it. Only the
+// pair predicates, which capture τ, are rebuilt per run.
+
+// travStrings is the per-tree STR signature: both traversal label sequences.
+type travStrings struct {
+	pre, post []int32
+}
 
 // STRFilter returns the traversal-string stage (Guha et al.): the unit-cost
 // string edit distance between the preorder (resp. postorder) label
@@ -23,18 +34,18 @@ import (
 // size-compatible pairs and dominates at small τ (cf. Figure 10).
 func STRFilter() engine.PairFilter {
 	return engine.NewFilter("STR", func(c *engine.Collection) func(i, j int) bool {
-		pre := make([][]int32, len(c.Trees))
-		post := make([][]int32, len(c.Trees))
-		for i, t := range c.Trees {
-			pre[i] = tree.LabelSeq(t, tree.Preorder(t))
-			post[i] = tree.LabelSeq(t, tree.Postorder(t))
-		}
+		seqs := engine.Cached(c.Cache(), "str/traversals", c.Trees, func(t *tree.Tree) travStrings {
+			return travStrings{
+				pre:  tree.LabelSeq(t, tree.Preorder(t)),
+				post: tree.LabelSeq(t, tree.Postorder(t)),
+			}
+		})
 		tau := c.Tau
 		return func(i, j int) bool {
-			if strdist.Bounded(pre[i], pre[j], tau) > tau {
+			if strdist.Bounded(seqs[i].pre, seqs[j].pre, tau) > tau {
 				return false
 			}
-			return strdist.Bounded(post[i], post[j], tau) <= tau
+			return strdist.Bounded(seqs[i].post, seqs[j].post, tau) <= tau
 		}
 	})
 }
@@ -45,10 +56,7 @@ func STRFilter() engine.PairFilter {
 // but the candidate set grows quickly with τ.
 func SETFilter() engine.PairFilter {
 	return engine.NewFilter("SET", func(c *engine.Collection) func(i, j int) bool {
-		vecs := make([][]branch, len(c.Trees))
-		for i, t := range c.Trees {
-			vecs[i] = BranchVector(t)
-		}
+		vecs := engine.Cached(c.Cache(), "set/branches", c.Trees, BranchVector)
 		limit := 5 * c.Tau
 		return func(i, j int) bool {
 			return BIB(vecs[i], vecs[j]) <= limit
@@ -64,10 +72,7 @@ func SETFilter() engine.PairFilter {
 // natural first link of a prefilter chain.
 func HISTFilter() engine.PairFilter {
 	return engine.NewFilter("HIST", func(c *engine.Collection) func(i, j int) bool {
-		profiles := make([]*HistProfile, len(c.Trees))
-		for i, t := range c.Trees {
-			profiles[i] = NewHistProfile(t)
-		}
+		profiles := engine.Cached(c.Cache(), "hist/profiles", c.Trees, NewHistProfile)
 		tau := c.Tau
 		return func(i, j int) bool {
 			return HistLowerBound(profiles[i], profiles[j]) <= tau
@@ -82,10 +87,7 @@ func HISTFilter() engine.PairFilter {
 // more shape changes (the close symbols encode where subtrees end).
 func EULFilter() engine.PairFilter {
 	return engine.NewFilter("EUL", func(c *engine.Collection) func(i, j int) bool {
-		eulers := make([][]int32, len(c.Trees))
-		for i, t := range c.Trees {
-			eulers[i] = EulerString(t)
-		}
+		eulers := engine.Cached(c.Cache(), "eul/strings", c.Trees, EulerString)
 		tau := c.Tau
 		return func(i, j int) bool {
 			return EulerLowerBound(eulers[i], eulers[j], tau) <= tau

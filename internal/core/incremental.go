@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"treejoin/internal/engine"
 	"treejoin/internal/lcrs"
 	"treejoin/internal/sim"
 	"treejoin/internal/tree"
@@ -24,6 +25,7 @@ import (
 type Incremental struct {
 	opts    Options
 	delta   int
+	cache   *engine.Cache
 	ts      []*tree.Tree
 	bins    []*lcrs.Bin
 	parts   []*Partition
@@ -41,14 +43,25 @@ type Incremental struct {
 }
 
 // NewIncremental returns an empty streaming join with the given options.
-// RandomPartition is not supported and is ignored.
+// RandomPartition is not supported and is ignored. It panics on invalid
+// options — the legacy contract; corpus-backed callers use
+// NewIncrementalCached.
 func NewIncremental(opts Options) *Incremental {
 	if err := opts.validate(); err != nil {
 		panic(err)
 	}
+	return NewIncrementalCached(opts, nil)
+}
+
+// NewIncrementalCached is NewIncremental drawing per-tree artifacts (binary
+// views, δ-partitions) from cache: a stream fed trees a corpus has already
+// joined — or re-adding a tree it removed — skips their recomputation. A nil
+// cache computes everything locally. Options must be valid.
+func NewIncrementalCached(opts Options, cache *engine.Cache) *Incremental {
 	inc := &Incremental{
 		opts:      opts,
 		delta:     opts.delta(),
+		cache:     cache,
 		ix:        newInvIndex(opts.Tau, opts.Position),
 		compactAt: 16,
 	}
@@ -86,7 +99,7 @@ func (inc *Incremental) Add(t *tree.Tree) []sim.Pair {
 	if inc.seqs != nil {
 		inc.seqs.add(t)
 	}
-	b := lcrs.Build(t)
+	b := cachedBin(inc.cache, t)
 	inc.bins = append(inc.bins, b)
 	inc.parts = append(inc.parts, nil)
 	inc.checked = append(inc.checked, -1)
@@ -133,7 +146,7 @@ func (inc *Incremental) Add(t *tree.Tree) []sim.Pair {
 
 	pStart := time.Now()
 	if sz >= inc.delta {
-		p := Compute(b, inc.delta)
+		p := cachedPartition(inc.cache, t, b, partitionCacheKey(inc.delta), inc.delta)
 		inc.parts[ti] = p
 		inc.stats.IndexedSubgraphs += int64(inc.delta)
 		inc.ix.insert(ti, p)

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"treejoin/internal/engine"
 	"treejoin/internal/lcrs"
 	"treejoin/internal/ted"
 	"treejoin/internal/tree"
@@ -33,11 +36,21 @@ type Match struct {
 
 // NewIndex partitions and indexes every tree of ts for searches with
 // threshold opts.Tau. RandomPartition and Workers are ignored; the verifier
-// is used by Search.
+// is used by Search. It panics on invalid options — the legacy contract;
+// corpus-backed callers validate first and use NewIndexCached.
 func NewIndex(ts []*tree.Tree, opts Options) *Index {
 	if err := opts.validate(); err != nil {
 		panic(err)
 	}
+	return NewIndexCached(ts, opts, nil)
+}
+
+// NewIndexCached is NewIndex drawing per-tree artifacts (binary views and
+// δ-partitions) from cache, so an index built over a corpus's trees reuses
+// the signatures its joins already computed — and later indexes at other
+// thresholds reuse at least the views. A nil cache computes everything
+// locally. Options must be valid.
+func NewIndexCached(ts []*tree.Tree, opts Options, cache *engine.Cache) *Index {
 	if opts.HybridVerify && opts.Verifier == nil {
 		opts.Verifier = newSeqCache(ts).verifier()
 	}
@@ -48,14 +61,15 @@ func NewIndex(ts []*tree.Tree, opts Options) *Index {
 		ix:    newInvIndex(opts.Tau, opts.Position),
 	}
 	delta := opts.delta()
+	partKey := partitionCacheKey(delta)
 	for i, t := range ts {
-		if t.Size() >= delta {
-			p := Compute(lcrs.Build(t), delta)
-			ix.parts[i] = p
-			ix.ix.insert(i, p)
-		} else {
+		if t.Size() < delta {
 			ix.smalls = append(ix.smalls, i)
+			continue
 		}
+		p := cachedPartition(cache, t, nil, partKey, delta)
+		ix.parts[i] = p
+		ix.ix.insert(i, p)
 	}
 	return ix
 }
@@ -66,9 +80,23 @@ func (x *Index) Len() int { return len(x.ts) }
 // Tree returns the i-th collection tree.
 func (x *Index) Tree(i int) *tree.Tree { return x.ts[i] }
 
+// Tau returns the threshold the index was built for.
+func (x *Index) Tau() int { return x.opts.Tau }
+
 // Search returns the collection trees within TED τ of q, in ascending
 // collection order.
 func (x *Index) Search(q *tree.Tree) []Match {
+	ms, _ := x.SearchCtx(context.Background(), q)
+	return ms
+}
+
+// searchCtxStride bounds how many probe nodes (or verifications) run between
+// context checks.
+const searchCtxStride = 64
+
+// SearchCtx is Search under a context: cancellation aborts the probe and
+// verification loops promptly and returns ctx's error with nil matches.
+func (x *Index) SearchCtx(ctx context.Context, q *tree.Tree) ([]Match, error) {
 	verify := x.opts.Verifier
 	if verify == nil {
 		verify = func(t1, t2 *tree.Tree, tau int) (int, bool) {
@@ -95,7 +123,10 @@ func (x *Index) Search(q *tree.Tree) []Match {
 		minSize = 1
 	}
 	var sc matchScratch
-	for _, n := range b.Order {
+	for k, n := range b.Order {
+		if k%searchCtxStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		x.ix.probe(b, n, minSize, sz+tau, func(e entry) {
 			if seen[e.tree] {
 				return
@@ -108,12 +139,15 @@ func (x *Index) Search(q *tree.Tree) []Match {
 	}
 	var out []Match
 	for _, i := range cands {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if d, ok := verify(x.ts[i], q, tau); ok {
 			out = append(out, Match{Pos: i, Dist: d})
 		}
 	}
 	sortMatches(out)
-	return out
+	return out, nil
 }
 
 func sortMatches(ms []Match) {

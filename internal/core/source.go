@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"treejoin/internal/engine"
 	"treejoin/internal/lcrs"
 	"treejoin/internal/sim"
+	"treejoin/internal/tree"
 )
 
 // PartSJ as an engine candidate source. The probe/insert loop of Algorithm 1
@@ -135,33 +137,105 @@ const (
 // indexed by the tree's collection id — sharded tasks touch only their
 // shards' slots, trading O(collection) zeroed allocations per task for
 // O(1) lookups with no remapping.
+//
+// Binary views and partitions also go through the run's artifact cache:
+// views are τ-independent ("lcrs") and partitions are keyed by δ, so a
+// corpus-backed join reuses both across runs (and sharded tasks share them
+// within one run) while a changed threshold recomputes only the partitions.
+// The random-partition ablation bypasses the partition cache — its output
+// depends on the RNG stream, not just (tree, δ).
 type joiner struct {
-	c     *engine.Collection
-	opts  Options
-	delta int
-	bins  []*lcrs.Bin
-	parts []*Partition
-	state []int64
-	gen   int64
-	sc    matchScratch
-	rng   *rand.Rand
+	c       *engine.Collection
+	opts    Options
+	delta   int
+	partKey string
+	bins    []*lcrs.Bin
+	parts   []*Partition
+	state   []int64
+	gen     int64
+	sc      matchScratch
+	rng     *rand.Rand
 }
 
 func newJoiner(c *engine.Collection, opts Options) *joiner {
 	n := len(c.Trees)
 	j := &joiner{
-		c:     c,
-		opts:  opts,
-		delta: opts.delta(),
-		bins:  make([]*lcrs.Bin, n),
-		parts: make([]*Partition, n),
-		state: make([]int64, n),
-		gen:   1,
+		c:       c,
+		opts:    opts,
+		delta:   opts.delta(),
+		partKey: partitionCacheKey(opts.delta()),
+		bins:    make([]*lcrs.Bin, n),
+		parts:   make([]*Partition, n),
+		state:   make([]int64, n),
+		gen:     1,
 	}
 	if opts.RandomPartition {
 		j.rng = rand.New(rand.NewSource(opts.Seed))
 	}
 	return j
+}
+
+// partitionCacheKey names the artifact-cache entry of a δ-partition.
+func partitionCacheKey(delta int) string {
+	return "partsj/delta=" + strconv.Itoa(delta)
+}
+
+// cachedBin returns t's left-child/right-sibling view from the artifact
+// cache, building and storing it on a miss. The single lookup-or-build path
+// for every PartSJ consumer (join source, search index, incremental
+// stream); a nil cache degrades to a plain build.
+func cachedBin(cache *engine.Cache, t *tree.Tree) *lcrs.Bin {
+	if v, ok := cache.Lookup("lcrs", t); ok {
+		return v.(*lcrs.Bin)
+	}
+	b := lcrs.Build(t)
+	cache.Store("lcrs", t, b)
+	return b
+}
+
+// cachedPartition returns t's δ-partition (the tree must have ≥ δ nodes)
+// from the artifact cache, computing it on a miss — from b when the caller
+// already has the binary view in hand, otherwise from the cached one.
+// partKey must be partitionCacheKey(delta).
+func cachedPartition(cache *engine.Cache, t *tree.Tree, b *lcrs.Bin, partKey string, delta int) *Partition {
+	if v, ok := cache.Lookup(partKey, t); ok {
+		return v.(*Partition)
+	}
+	if b == nil {
+		b = cachedBin(cache, t)
+	}
+	p := Compute(b, delta)
+	cache.Store(partKey, t, p)
+	return p
+}
+
+// bin returns tree ti's binary view, from the task-local slot or the shared
+// artifact cache.
+func (j *joiner) bin(ti int) *lcrs.Bin {
+	if b := j.bins[ti]; b != nil {
+		return b
+	}
+	b := cachedBin(j.c.Cache(), j.c.Trees[ti])
+	j.bins[ti] = b
+	return b
+}
+
+// partition returns tree ti's δ-partition (the tree must have ≥ δ nodes),
+// cached like bin. Random partitions are rebuilt every time — their output
+// depends on the RNG stream, not just (tree, δ).
+func (j *joiner) partition(ti int) *Partition {
+	if p := j.parts[ti]; p != nil {
+		return p
+	}
+	var p *Partition
+	if j.rng != nil {
+		p = ComputeRandom(j.bin(ti), j.delta, j.rng)
+	} else {
+		p = cachedPartition(j.c.Cache(), j.c.Trees[ti], j.bins[ti], j.partKey, j.delta)
+		j.bins[ti] = p.Bin
+	}
+	j.parts[ti] = p
+	return p
 }
 
 // prepartition builds the binary views and balanced partitions of every tree
@@ -190,10 +264,12 @@ func (j *joiner) prepartition(stats *sim.Stats, workers int) {
 				if i >= len(ts) {
 					return
 				}
-				b := lcrs.Build(ts[i])
-				j.bins[i] = b
+				if j.c.Cancelled() {
+					return
+				}
+				j.bin(i)
 				if ts[i].Size() >= j.delta {
-					j.parts[i] = Compute(b, j.delta)
+					j.partition(i)
 				}
 			}
 		}()
@@ -214,6 +290,9 @@ func (j *joiner) runLoop(px *engine.Pipeline, positions []int, sideAt func(k int
 		ixes[i] = newInvIndex(j.opts.Tau, j.opts.Position)
 	}
 	for k, ti := range positions {
+		if px.Cancelled() {
+			return
+		}
 		s := 0
 		if sideAt != nil {
 			s = sideAt(k)
@@ -235,11 +314,7 @@ func (j *joiner) probeAndCollect(px *engine.Pipeline, ti int, ix *invIndex, smal
 	start := time.Now()
 	ts := j.c.Trees
 	t := ts[ti]
-	b := j.bins[ti]
-	if b == nil {
-		b = lcrs.Build(t)
-		j.bins[ti] = b
-	}
+	b := j.bin(ti)
 	sz := t.Size()
 	gen := j.gen
 	j.gen++
@@ -287,22 +362,8 @@ func (j *joiner) insert(px *engine.Pipeline, ti int, ix *invIndex, smalls *[]int
 	start := time.Now()
 	ts := j.c.Trees
 	if ts[ti].Size() >= j.delta {
-		p := j.parts[ti] // non-nil when prepartition ran
-		if p == nil {
-			b := j.bins[ti]
-			if b == nil {
-				b = lcrs.Build(ts[ti])
-				j.bins[ti] = b
-			}
-			if j.rng != nil {
-				p = ComputeRandom(b, j.delta, j.rng)
-			} else {
-				p = Compute(b, j.delta)
-			}
-			j.parts[ti] = p
-		}
 		stats.IndexedSubgraphs += int64(j.delta)
-		ix.insert(ti, p)
+		ix.insert(ti, j.partition(ti))
 	} else {
 		*smalls = append(*smalls, ti)
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
+	"treejoin/internal/engine"
 	"treejoin/internal/sim"
 	"treejoin/internal/tree"
 )
@@ -23,13 +25,27 @@ import (
 // (Dist, I, J). It runs PartSJ self-joins at geometrically increasing
 // thresholds, starting from opts.Tau (minimum 1), until k pairs are within
 // reach or every pair has been reported. Fewer than k pairs are returned
-// only when the collection has fewer than k pairs overall.
+// only when the collection has fewer than k pairs overall. It panics on
+// invalid options — the legacy contract; corpus-backed callers use TopKCtx.
 func TopK(ts []*tree.Tree, k int, opts Options) []sim.Pair {
 	if err := opts.validate(); err != nil {
 		panic(err)
 	}
+	pairs, err := TopKCtx(context.Background(), ts, k, opts, 0, nil)
+	if err != nil {
+		panic(err)
+	}
+	return pairs
+}
+
+// TopKCtx is TopK under a context and an artifact cache: each expanding
+// round runs the cancellable engine join (sharded when shards > 1), drawing
+// per-tree signatures from cache. On cancellation it returns ctx's error
+// together with the pairs the aborted round had found — honest partial
+// output, not necessarily the global top k. Options must be valid.
+func TopKCtx(ctx context.Context, ts []*tree.Tree, k int, opts Options, shards int, cache *engine.Cache) ([]sim.Pair, error) {
 	if k <= 0 || len(ts) < 2 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if all := len(ts) * (len(ts) - 1) / 2; k > all {
 		k = all
@@ -53,13 +69,26 @@ func TopK(ts []*tree.Tree, k int, opts Options) []sim.Pair {
 	for {
 		o := opts
 		o.Tau = tau
-		pairs, _ := SelfJoin(ts, o)
+		job := o.Job(shards, nil)
+		job.Cache = cache
+		var pairs []sim.Pair
+		_, err := job.StreamSelf(ctx, ts, func(p sim.Pair) bool {
+			pairs = append(pairs, p)
+			return true
+		})
+		if err != nil {
+			sortByDist(pairs)
+			if len(pairs) > k {
+				pairs = pairs[:k]
+			}
+			return pairs, err
+		}
 		if len(pairs) >= k || tau >= tauCap {
 			sortByDist(pairs)
 			if len(pairs) > k {
 				pairs = pairs[:k]
 			}
-			return pairs
+			return pairs, nil
 		}
 		tau *= 2
 		if tau > tauCap {
@@ -81,33 +110,112 @@ func sortByDist(ps []sim.Pair) {
 	})
 }
 
-// KNN answers k-nearest-neighbour queries over a fixed collection. Each
-// distinct threshold the expanding search visits builds one Index; indexes
-// are cached, so a query workload settles into reusing a handful of them.
-// Nearest is safe for concurrent use.
-type KNN struct {
-	ts     []*tree.Tree
-	opts   Options
-	tauCap int
+// DefaultIndexCacheCap is the default bound on the per-threshold index cache
+// behind KNN (and a corpus's Search): one full PartSJ index is retained per
+// cached threshold, so the cap trades rebuild time against memory. The
+// expanding-threshold search visits geometrically spaced thresholds — at
+// most ⌊log₂(tauCap)⌋+2 of them per query, where tauCap = max tree size +
+// query size — so the default covers a full worst-case sweep for
+// tree-plus-query sizes up to ~16K nodes. A smaller cap makes a sweep
+// longer than the cap cycle the LRU (each query rebuilding every index),
+// which is the caveat to weigh when lowering it via WithIndexCacheCap.
+const DefaultIndexCacheCap = 16
 
-	mu    sync.Mutex
-	cache map[int]*Index
+// indexLRU is a small least-recently-used cache of per-threshold search
+// indexes. Capacities are tiny (single digits), so recency is tracked with a
+// plain slice — the O(cap) bookkeeping is noise next to an index build.
+type indexLRU struct {
+	mu        sync.Mutex
+	cap       int
+	order     []int // thresholds, most recently used first
+	m         map[int]*Index
+	evictions int64
+}
+
+func newIndexLRU(capacity int) *indexLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &indexLRU{cap: capacity, m: make(map[int]*Index)}
+}
+
+// get returns the cached index for tau, or nil; a hit refreshes recency.
+func (l *indexLRU) get(tau int) *Index {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ix := l.m[tau]
+	if ix != nil {
+		l.touch(tau)
+	}
+	return ix
+}
+
+// put inserts the index for tau, evicting the least recently used entry when
+// the cache is full.
+func (l *indexLRU) put(tau int, ix *Index) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.m[tau]; ok {
+		l.m[tau] = ix
+		l.touch(tau)
+		return
+	}
+	if len(l.order) >= l.cap {
+		last := l.order[len(l.order)-1]
+		l.order = l.order[:len(l.order)-1]
+		delete(l.m, last)
+		l.evictions++
+	}
+	l.m[tau] = ix
+	l.order = append([]int{tau}, l.order...)
+}
+
+// touch moves tau to the front of the recency order (must hold l.mu).
+func (l *indexLRU) touch(tau int) {
+	for i, v := range l.order {
+		if v == tau {
+			copy(l.order[1:i+1], l.order[:i])
+			l.order[0] = tau
+			return
+		}
+	}
+}
+
+// KNN answers k-nearest-neighbour queries over a fixed collection. Each
+// distinct threshold the expanding search visits builds one Index; a small
+// LRU keeps the most recently used of them (an unbounded cache would retain
+// one full PartSJ index per threshold ever visited), so a query workload
+// settles into reusing a handful. Nearest is safe for concurrent use.
+type KNN struct {
+	ts        []*tree.Tree
+	opts      Options
+	tauCap    int
+	cache     *indexLRU
+	artifacts *engine.Cache
 }
 
 // NewKNN prepares a k-NN searcher over ts. opts.Tau sets the first threshold
 // tried (minimum 1); the remaining options configure the underlying indexes
-// and verifier as in NewIndex.
+// and verifier as in NewIndex. It panics on invalid options — the legacy
+// contract; corpus-backed callers use NewKNNCached.
 func NewKNN(ts []*tree.Tree, opts Options) *KNN {
 	if err := opts.validate(); err != nil {
 		panic(err)
 	}
+	return NewKNNCached(ts, opts, nil, DefaultIndexCacheCap)
+}
+
+// NewKNNCached is NewKNN drawing per-tree artifacts from cache (nil: compute
+// locally) and bounding the per-threshold index cache at capacity (≥ 1;
+// values below 1 are raised to 1). Options must be valid.
+func NewKNNCached(ts []*tree.Tree, opts Options, cache *engine.Cache, capacity int) *KNN {
 	var max1 int
 	for _, t := range ts {
 		if s := t.Size(); s > max1 {
 			max1 = s
 		}
 	}
-	return &KNN{ts: ts, opts: opts, tauCap: max1, cache: make(map[int]*Index)}
+	return &KNN{ts: ts, opts: opts, tauCap: max1, cache: newIndexLRU(capacity), artifacts: cache}
 }
 
 // Len returns the collection size.
@@ -116,16 +224,33 @@ func (x *KNN) Len() int { return len(x.ts) }
 // Tree returns the i-th collection tree.
 func (x *KNN) Tree(i int) *tree.Tree { return x.ts[i] }
 
-func (x *KNN) index(tau int) *Index {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	ix := x.cache[tau]
-	if ix == nil {
-		o := x.opts
-		o.Tau = tau
-		ix = NewIndex(x.ts, o)
-		x.cache[tau] = ix
+// CachedIndexes returns the number of per-threshold indexes currently
+// retained (≤ the configured capacity).
+func (x *KNN) CachedIndexes() int {
+	x.cache.mu.Lock()
+	defer x.cache.mu.Unlock()
+	return len(x.cache.m)
+}
+
+// Evictions returns how many cached indexes the LRU bound has discarded.
+func (x *KNN) Evictions() int64 {
+	x.cache.mu.Lock()
+	defer x.cache.mu.Unlock()
+	return x.cache.evictions
+}
+
+// IndexAt returns the search index for threshold tau, building and caching
+// it on first use. Two concurrent callers may both build the same index; one
+// build wins the cache slot and the other is garbage — acceptable for an
+// operation whose callers are already paying an index build.
+func (x *KNN) IndexAt(tau int) *Index {
+	if ix := x.cache.get(tau); ix != nil {
+		return ix
 	}
+	o := x.opts
+	o.Tau = tau
+	ix := NewIndexCached(x.ts, o, x.artifacts)
+	x.cache.put(tau, ix)
 	return ix
 }
 
@@ -133,8 +258,15 @@ func (x *KNN) index(tau int) *Index {
 // (Dist, Pos). Fewer than k matches are returned only when the collection
 // holds fewer than k trees.
 func (x *KNN) Nearest(q *tree.Tree, k int) []Match {
+	ms, _ := x.NearestCtx(context.Background(), q, k)
+	return ms
+}
+
+// NearestCtx is Nearest under a context: cancellation aborts the expanding
+// search promptly and returns ctx's error with nil matches.
+func (x *KNN) NearestCtx(ctx context.Context, q *tree.Tree, k int) ([]Match, error) {
 	if k <= 0 || len(x.ts) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if k > len(x.ts) {
 		k = len(x.ts)
@@ -145,7 +277,15 @@ func (x *KNN) Nearest(q *tree.Tree, k int) []Match {
 		tau = 1
 	}
 	for {
-		ms := x.index(tau).Search(q)
+		// Check before each round: IndexAt may pay a full (uncancellable)
+		// index build, so don't start one the caller no longer wants.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ms, err := x.IndexAt(tau).SearchCtx(ctx, q)
+		if err != nil {
+			return nil, err
+		}
 		if len(ms) >= k || tau >= tauCap {
 			sort.Slice(ms, func(a, b int) bool {
 				if ms[a].Dist != ms[b].Dist {
@@ -156,7 +296,7 @@ func (x *KNN) Nearest(q *tree.Tree, k int) []Match {
 			if len(ms) > k {
 				ms = ms[:k]
 			}
-			return ms
+			return ms, nil
 		}
 		tau *= 2
 		if tau > tauCap {

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"sync"
+
+	"treejoin/internal/tree"
+)
+
+// Cache is the per-corpus artifact store: every τ-independent per-tree
+// signature a filter or source computes (traversal strings, histograms,
+// Euler strings, gram bags, binary views, δ-partitions) is keyed here by
+// (artifact kind, tree identity) so a later join over the same trees — at a
+// different threshold, with a different method, or against another
+// collection — reuses it instead of recomputing.
+//
+// Artifacts are keyed by tree *pointer*: trees are immutable after
+// construction, so pointer identity is value identity, and a cross join
+// mixing two corpora hits on exactly the trees the two sides share. Keys of
+// τ-dependent artifacts must encode the parameter (e.g. "partsj/delta=7"), so
+// a changed threshold misses instead of aliasing.
+//
+// A Cache is safe for concurrent use. Builds run outside the lock, so two
+// racing tasks may compute the same artifact; both results are identical
+// (builders are deterministic) and only one is retained.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[string]map[*tree.Tree]any
+	hits   int64
+	misses int64
+
+	// route, when non-nil, makes this cache a pure router: every per-tree
+	// operation is delegated to route(t), and nothing is stored locally. A
+	// cross join of two corpora routes each tree's artifacts to the cache
+	// of the corpus that owns it, so neither corpus retains (and pins) the
+	// other's trees.
+	route func(t *tree.Tree) *Cache
+}
+
+// NewCache returns an empty artifact cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]map[*tree.Tree]any)}
+}
+
+// RoutedCache returns a cache that delegates every per-tree operation to
+// route(t). Stats of a routed cache are always zero — read the underlying
+// caches instead.
+func RoutedCache(route func(t *tree.Tree) *Cache) *Cache {
+	return &Cache{route: route}
+}
+
+// CacheStats is a snapshot of a cache's effectiveness counters. A warm
+// corpus shows Misses frozen while Hits grows: zero per-tree signature
+// recomputation.
+type CacheStats struct {
+	Hits    int64 // artifact lookups served from the cache
+	Misses  int64 // lookups that had to compute the artifact
+	Entries int   // artifacts currently stored
+}
+
+// Stats returns a snapshot of the hit/miss counters and the entry count.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{Hits: c.hits, Misses: c.misses}
+	for _, byTree := range c.m {
+		st.Entries += len(byTree)
+	}
+	return st
+}
+
+// Lookup returns the artifact cached for (key, t). A miss is counted even
+// when the caller never stores a value back.
+func (c *Cache) Lookup(key string, t *tree.Tree) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if c.route != nil {
+		return c.route(t).Lookup(key, t)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key][t]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+// Store records the artifact for (key, t), overwriting any previous value.
+func (c *Cache) Store(key string, t *tree.Tree, v any) {
+	if c == nil {
+		return
+	}
+	if c.route != nil {
+		c.route(t).Store(key, t, v)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byTree := c.m[key]
+	if byTree == nil {
+		byTree = make(map[*tree.Tree]any)
+		c.m[key] = byTree
+	}
+	byTree[t] = v
+}
+
+// Cached returns build(t) for every tree of ts, in order, computing each
+// missing artifact exactly once and caching it under key. With a nil cache it
+// degrades to plain computation — the pre-corpus behaviour. The misses are
+// built outside the lock, in input order.
+func Cached[T any](c *Cache, key string, ts []*tree.Tree, build func(*tree.Tree) T) []T {
+	out := make([]T, len(ts))
+	if c == nil {
+		for i, t := range ts {
+			out[i] = build(t)
+		}
+		return out
+	}
+	if c.route != nil {
+		// Routed cache: per-tree delegation (the trees span two caches, so
+		// there is no single lock to bulk under).
+		for i, t := range ts {
+			if v, ok := c.Lookup(key, t); ok {
+				out[i] = v.(T)
+			} else {
+				out[i] = build(t)
+				c.Store(key, t, out[i])
+			}
+		}
+		return out
+	}
+	// Snapshot hits and note misses under one lock acquisition.
+	c.mu.Lock()
+	byTree := c.m[key]
+	if byTree == nil {
+		byTree = make(map[*tree.Tree]any)
+		c.m[key] = byTree
+	}
+	missing := make([]int, 0, len(ts))
+	for i, t := range ts {
+		if v, ok := byTree[t]; ok {
+			c.hits++
+			out[i] = v.(T)
+		} else {
+			c.misses++
+			missing = append(missing, i)
+		}
+	}
+	c.mu.Unlock()
+	if len(missing) == 0 {
+		return out
+	}
+	for _, i := range missing {
+		out[i] = build(ts[i])
+	}
+	c.mu.Lock()
+	for _, i := range missing {
+		byTree[ts[i]] = out[i]
+	}
+	c.mu.Unlock()
+	return out
+}

@@ -21,6 +21,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -50,8 +51,21 @@ type Collection struct {
 	// task count.
 	Workers int
 
+	ctx   context.Context
+	cache *Cache
 	sizes []int // sizes in Order order, for binary-searching the window
 }
+
+// Cancelled reports whether the run's context has been cancelled — by the
+// caller's deadline or cancel, or by a streaming consumer that stopped
+// iterating. Sources check it between probes and abandon their loops early;
+// the engine then returns whatever statistics accumulated.
+func (c *Collection) Cancelled() bool { return c.ctx.Err() != nil }
+
+// Cache returns the run's artifact cache. A corpus-backed run shares the
+// corpus cache across joins; a one-shot run gets a private cache that at
+// least lets concurrent tasks of the same join share per-tree artifacts.
+func (c *Collection) Cache() *Cache { return c.cache }
 
 // Cross reports whether the collection is the union of two sides.
 func (c *Collection) Cross() bool { return c.Split >= 0 }
@@ -72,11 +86,14 @@ func (c *Collection) WindowStart(sz int) int {
 	return sort.SearchInts(c.sizes, min)
 }
 
-func newCollection(ts []*tree.Tree, split, tau, workers int) *Collection {
+func newCollection(ctx context.Context, ts []*tree.Tree, split, tau, workers int, cache *Cache) *Collection {
 	if workers < 1 {
 		workers = 1
 	}
-	c := &Collection{Trees: ts, Split: split, Tau: tau, Workers: workers}
+	if cache == nil {
+		cache = NewCache()
+	}
+	c := &Collection{Trees: ts, Split: split, Tau: tau, Workers: workers, ctx: ctx, cache: cache}
 	c.Order = sim.SizeOrder(ts)
 	c.sizes = make([]int, len(c.Order))
 	for p, ti := range c.Order {
@@ -128,6 +145,49 @@ type CandidateSource interface {
 	Tasks(c *Collection, shards int) []Task
 }
 
+// emitter is the serialised result stream of one run: every verified pair —
+// from any task's inline flush or from the final pool-wide verification pass
+// — funnels through emit, which remaps cross-join indices, drops duplicates
+// from overlapping shard tasks, and hands the pair to the consumer's sink. A
+// sink that returns false stops the run: the emitter cancels the run context
+// and sources abandon their loops.
+type emitter struct {
+	mu      sync.Mutex
+	sink    sim.EmitFunc
+	split   int             // ≥ 0: cross join, remap J to the B side
+	seen    map[[2]int]bool // non-nil: dedup pairs from multi-task plans
+	n       int64           // pairs delivered to the sink
+	stopped bool
+	cancel  context.CancelFunc
+}
+
+func (e *emitter) emit(p sim.Pair) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return false
+	}
+	if e.split >= 0 {
+		// Combined A indices precede B indices, so Pair.I is the A element
+		// already; J maps back to its per-collection position.
+		p.J -= e.split
+	}
+	if e.seen != nil {
+		k := [2]int{p.I, p.J}
+		if e.seen[k] {
+			return true // duplicate from an overlapping task; keep going
+		}
+		e.seen[k] = true
+	}
+	e.n++
+	if !e.sink(p) {
+		e.stopped = true
+		e.cancel()
+		return false
+	}
+	return true
+}
+
 // Pipeline is a task's private view of the filter chain and candidate sink.
 // Screen runs the filters over a pair (with per-stage accounting); Emit
 // records a surviving pair for verification; Offer combines the two. Sources
@@ -142,27 +202,32 @@ type Pipeline struct {
 	stats  sim.Stats
 
 	// Sequential jobs verify candidates in bounded chunks as they are
-	// emitted (Algorithm 1's interleaving, generalised), keeping peak
-	// memory at O(flushAt) instead of O(total candidates). Parallel jobs
-	// set flushAt = 0 and defer everything to one pool-wide pass, where
-	// the bigger batch load-balances better.
+	// emitted (Algorithm 1's interleaving, generalised), streaming results
+	// to the emitter with peak candidate memory O(flushAt) instead of
+	// O(total candidates). Parallel jobs set flushAt = 0 and defer
+	// everything to one pool-wide pass, where the bigger batch
+	// load-balances better.
 	flushAt    int
 	verifier   sim.Verifier
-	results    []sim.Pair
+	em         *emitter
 	inlineTime time.Duration
 }
 
-// flushCandidates verifies and drains the buffered candidates inline. The
-// elapsed time is remembered so the engine can carve it back out of the
-// source's candidate-generation clock (flushes happen inside the source's
-// timed loop).
+// Cancelled reports whether the run should stop: the caller cancelled its
+// context or a streaming consumer stopped iterating. Sources check it
+// between probes.
+func (px *Pipeline) Cancelled() bool { return px.c.Cancelled() }
+
+// flushCandidates verifies and drains the buffered candidates inline,
+// streaming confirmed pairs to the emitter. The elapsed time is remembered so
+// the engine can carve it back out of the source's candidate-generation clock
+// (flushes happen inside the source's timed loop).
 func (px *Pipeline) flushCandidates() {
 	if len(px.cands) == 0 {
 		return
 	}
 	start := time.Now()
-	px.results = append(px.results,
-		sim.VerifyAll(px.c.Trees, px.cands, px.c.Tau, px.verifier, 1, &px.stats)...)
+	sim.VerifyStream(px.c.ctx, px.c.Trees, px.cands, px.c.Tau, px.verifier, 1, &px.stats, px.em.emit)
 	px.cands = px.cands[:0]
 	px.inlineTime += time.Since(start)
 }
@@ -227,40 +292,96 @@ type Job struct {
 	// fragment-and-replicate plan rebuilds an index per task). ≤ 1 leaves
 	// the decomposition to the source.
 	Shards int
+	// Cache, when non-nil, is the artifact cache shared across runs (a
+	// corpus's cache): per-tree filter signatures and source artifacts are
+	// looked up there before being recomputed. nil gives the run a private
+	// cache.
+	Cache *Cache
 }
 
 // SelfJoin runs the job over one collection and reports every unordered pair
 // within Tau, in canonical ascending (I, J) order.
+//
+// It is the uncancellable materialising form of StreamSelf, retained for the
+// legacy free functions; it panics on a negative threshold.
 func (job Job) SelfJoin(ts []*tree.Tree) ([]sim.Pair, *sim.Stats) {
-	return job.run(ts, -1)
+	return job.collect(context.Background(), ts, -1)
 }
 
 // Join runs the job as a cross join: every pair (a ∈ A, b ∈ B) within Tau,
 // with Pair.I indexing into a and Pair.J into b. Both collections must share
-// one label table.
+// one label table. Like SelfJoin, it is the uncancellable materialising form
+// of StreamJoin and panics on a negative threshold.
 func (job Job) Join(a, b []*tree.Tree) ([]sim.Pair, *sim.Stats) {
+	return job.collect(context.Background(), combined(a, b), len(a))
+}
+
+// StreamSelf runs the job over one collection, handing each result pair to
+// sink as the pipeline confirms it — no materialised result slice, no
+// ordering guarantee (use SelfJoin or sort afterwards for the canonical
+// order). A sink returning false stops the run early; that is not an error.
+// Cancelling ctx aborts the run promptly and returns ctx's error together
+// with the statistics accumulated so far.
+func (job Job) StreamSelf(ctx context.Context, ts []*tree.Tree, sink sim.EmitFunc) (*sim.Stats, error) {
+	return job.stream(ctx, ts, -1, sink)
+}
+
+// StreamJoin is StreamSelf for a cross join of two collections; Pair.I
+// indexes into a and Pair.J into b.
+func (job Job) StreamJoin(ctx context.Context, a, b []*tree.Tree, sink sim.EmitFunc) (*sim.Stats, error) {
+	return job.stream(ctx, combined(a, b), len(a), sink)
+}
+
+func combined(a, b []*tree.Tree) []*tree.Tree {
 	ts := make([]*tree.Tree, 0, len(a)+len(b))
 	ts = append(ts, a...)
 	ts = append(ts, b...)
-	return job.run(ts, len(a))
+	return ts
 }
 
-func (job Job) run(ts []*tree.Tree, split int) ([]sim.Pair, *sim.Stats) {
-	if job.Tau < 0 {
-		panic(fmt.Sprintf("engine: negative threshold %d", job.Tau))
+// collect materialises a stream into the canonical sorted slice; validation
+// failures panic (the legacy contract of the free functions).
+func (job Job) collect(ctx context.Context, ts []*tree.Tree, split int) ([]sim.Pair, *sim.Stats) {
+	var results []sim.Pair
+	stats, err := job.stream(ctx, ts, split, func(p sim.Pair) bool {
+		results = append(results, p)
+		return true
+	})
+	if err != nil {
+		panic(err)
 	}
+	sim.SortPairs(results)
+	return results, stats
+}
+
+func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink sim.EmitFunc) (*sim.Stats, error) {
+	stats := &sim.Stats{Trees: len(ts)}
+	if job.Tau < 0 {
+		return stats, fmt.Errorf("engine: negative threshold %d", job.Tau)
+	}
+	// The run context is cancelled either from outside or by the emitter
+	// when the sink stops the stream; sources poll it between probes.
+	ctx, cancel := context.WithCancel(outer)
+	defer cancel()
 	source := job.Source
 	if source == nil {
 		source = SortedLoop()
 	}
-	stats := &sim.Stats{Trees: len(ts)}
-	c := newCollection(ts, split, job.Tau, job.Workers)
+	em := &emitter{sink: sink, split: split, cancel: cancel}
+	c := newCollection(ctx, ts, split, job.Tau, job.Workers, job.Cache)
 
 	// Prepare the filter chain once over the combined collection; stage
-	// preparation time is candidate-generation effort.
+	// preparation time is candidate-generation effort. One stage's
+	// preparation is the engine's largest uncancellable unit (a cold
+	// corpus computes every tree's signature here), so check the context
+	// between stages rather than starting work the caller abandoned.
 	start := time.Now()
 	preds := make([]func(i, j int) bool, len(job.Filters))
 	for k, f := range job.Filters {
+		if err := outer.Err(); err != nil {
+			stats.CandTime += time.Since(start)
+			return stats, err
+		}
 		preds[k] = f.Prepare(c)
 	}
 	stats.CandTime += time.Since(start)
@@ -274,6 +395,15 @@ func (job Job) run(ts []*tree.Tree, split int) ([]sim.Pair, *sim.Stats) {
 		flushAt = inlineFlushChunk
 	}
 	tasks := source.Tasks(c, job.Shards)
+	if job.Shards > 1 && len(tasks) > 1 {
+		// Sources' natural decompositions (the sorted loop's strides, the
+		// cross-join plan) offer every pair exactly once by construction, so
+		// streaming stays constant-memory. Only an explicitly sharded
+		// fragment-and-replicate plan gets the dedup map, defending against
+		// aliased trees straddling a shard boundary (see core's sharded
+		// plan).
+		em.seen = make(map[[2]int]bool)
+	}
 	pipes := make([]*Pipeline, len(tasks))
 	for i := range pipes {
 		px := &Pipeline{
@@ -282,6 +412,7 @@ func (job Job) run(ts []*tree.Tree, split int) ([]sim.Pair, *sim.Stats) {
 			counts:   make([]sim.StageStats, len(job.Filters)),
 			flushAt:  flushAt,
 			verifier: verifier,
+			em:       em,
 		}
 		for k, f := range job.Filters {
 			px.counts[k].Name = f.Name()
@@ -290,19 +421,17 @@ func (job Job) run(ts []*tree.Tree, split int) ([]sim.Pair, *sim.Stats) {
 	}
 	runTasks(tasks, pipes, job.Workers)
 
-	// Merge task-local results, candidates and statistics. Stage counters
-	// merge by position: every pipeline carries the same chain. Inline
-	// verification ran inside the sources' timed loops, so its elapsed time
-	// moves from the candidate-generation clock to the verification clock
-	// (where VerifyAll already recorded it).
+	// Merge task-local candidates and statistics. Stage counters merge by
+	// position: every pipeline carries the same chain. Inline verification
+	// ran inside the sources' timed loops, so its elapsed time moves from
+	// the candidate-generation clock to the verification clock (where
+	// VerifyStream already recorded it).
 	stats.Stages = make([]sim.StageStats, len(job.Filters))
 	for k, f := range job.Filters {
 		stats.Stages[k].Name = f.Name()
 	}
-	var results []sim.Pair
 	var cands []sim.Candidate
 	for _, px := range pipes {
-		results = append(results, px.results...)
 		cands = append(cands, px.cands...)
 		px.stats.CandTime -= px.inlineTime
 		mergeStats(stats, &px.stats)
@@ -311,23 +440,12 @@ func (job Job) run(ts []*tree.Tree, split int) ([]sim.Pair, *sim.Stats) {
 			stats.Stages[k].Pruned += px.counts[k].Pruned
 		}
 	}
-	results = append(results, sim.VerifyAll(ts, cands, job.Tau, verifier, job.Workers, stats)...)
-	if split >= 0 {
-		// Map combined indices back to per-collection positions. Combined A
-		// indices precede B indices, so Pair.I is the A element already.
-		for i := range results {
-			results[i].J -= split
-		}
+	sim.VerifyStream(ctx, ts, cands, job.Tau, verifier, job.Workers, stats, em.emit)
+	stats.Results = em.n
+	if err := outer.Err(); err != nil {
+		return stats, err
 	}
-	sim.SortPairs(results)
-	if len(tasks) > 1 {
-		// Independent tasks cover every pair exactly once by construction;
-		// dedup anyway to defend against aliased trees straddling a shard
-		// boundary (see core's sharded plan).
-		results = dedupPairs(results)
-	}
-	stats.Results = int64(len(results))
-	return results, stats
+	return stats, nil
 }
 
 // inlineFlushChunk is the candidate-buffer bound of sequential jobs: large
@@ -385,18 +503,3 @@ func mergeStats(total, st *sim.Stats) {
 	total.SmallTreeFallback += st.SmallTreeFallback
 }
 
-// dedupPairs removes adjacent duplicates from a sorted pair list.
-func dedupPairs(ps []sim.Pair) []sim.Pair {
-	if len(ps) < 2 {
-		return ps
-	}
-	keep := ps[:1]
-	for _, p := range ps[1:] {
-		last := keep[len(keep)-1]
-		if p.I == last.I && p.J == last.J {
-			continue
-		}
-		keep = append(keep, p)
-	}
-	return keep
-}

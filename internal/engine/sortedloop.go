@@ -44,6 +44,9 @@ func (sortedLoop) Tasks(c *Collection, shards int) []Task {
 		tasks[s] = func(px *Pipeline) {
 			start := time.Now()
 			for p := s; p < len(c.Order); p += n {
+				if px.Cancelled() {
+					break
+				}
 				ti := c.Order[p]
 				lo := c.WindowStart(c.Trees[ti].Size())
 				for k := lo; k < p; k++ {

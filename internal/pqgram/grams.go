@@ -123,10 +123,12 @@ func Filter(q int) engine.PairFilter {
 		q = DefaultQ
 	}
 	return engine.NewFilter("PQG", func(c *engine.Collection) func(i, j int) bool {
-		profiles := make([]*GramProfile, len(c.Trees))
-		for i, t := range c.Trees {
-			profiles[i] = NewGrams(t, q)
-		}
+		// Gram bags depend on q but not on τ; the cache key records q so
+		// differently-parameterised filters never alias.
+		key := fmt.Sprintf("pqg/grams/q=%d", q)
+		profiles := engine.Cached(c.Cache(), key, c.Trees, func(t *tree.Tree) *GramProfile {
+			return NewGrams(t, q)
+		})
 		limit := 4 * q * c.Tau
 		return func(i, j int) bool {
 			return GramBagDistance(profiles[i], profiles[j]) <= limit

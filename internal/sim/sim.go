@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -97,11 +98,36 @@ func SizeOrder(ts []*tree.Tree) []int {
 // Candidate is a pair awaiting verification.
 type Candidate struct{ I, J int }
 
+// EmitFunc consumes one verified pair. Returning false asks the producer to
+// stop early; producers may still deliver pairs already in flight.
+type EmitFunc func(Pair) bool
+
 // VerifyAll runs the verifier over cands, optionally in parallel, and returns
 // the confirmed pairs (unsorted). workers ≤ 1 verifies inline. The elapsed
 // wall-clock time is added to stats.VerifyTime and len(cands) to
 // stats.Candidates.
 func VerifyAll(ts []*tree.Tree, cands []Candidate, tau int, verify Verifier, workers int, stats *Stats) []Pair {
+	var out []Pair
+	VerifyStream(context.Background(), ts, cands, tau, verify, workers, stats, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// verifyCtxStride bounds how many candidates a verification loop decides
+// between context checks: small enough that cancellation aborts within a few
+// TED computations, large enough that the check never shows up in a profile.
+const verifyCtxStride = 16
+
+// VerifyStream runs the verifier over cands and hands each confirmed pair to
+// emit as soon as it is decided. workers ≤ 1 verifies inline; with more, emit
+// is called from multiple goroutines but never concurrently (the stream is
+// serialised). The loop aborts early when ctx is cancelled or emit returns
+// false; candidates decided so far keep their accounting. The elapsed
+// wall-clock time is added to stats.VerifyTime and len(cands) to
+// stats.Candidates.
+func VerifyStream(ctx context.Context, ts []*tree.Tree, cands []Candidate, tau int, verify Verifier, workers int, stats *Stats, emit EmitFunc) {
 	if verify == nil {
 		verify = DefaultVerifier
 	}
@@ -111,34 +137,52 @@ func VerifyAll(ts []*tree.Tree, cands []Candidate, tau int, verify Verifier, wor
 		stats.Candidates += int64(len(cands))
 	}()
 	if workers <= 1 || len(cands) < 2 {
-		var out []Pair
-		for _, c := range cands {
+		for k, c := range cands {
+			if k%verifyCtxStride == 0 && ctx.Err() != nil {
+				return
+			}
 			if d, ok := verify(ts[c.I], ts[c.J], tau); ok {
-				out = append(out, makePair(c, d))
+				if !emit(makePair(c, d)) {
+					return
+				}
 			}
 		}
-		return out
+		return
 	}
 	if workers > len(cands) {
 		workers = len(cands)
 	}
-	results := make([][]Pair, workers)
 	var next int64
-	var mu sync.Mutex
+	var stopped bool
+	var mu sync.Mutex // guards next, stopped, and the emit stream
 	var wg sync.WaitGroup
 	take := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		if next >= int64(len(cands)) {
+		if stopped || next >= int64(len(cands)) {
 			return -1
 		}
 		i := next
 		next++
+		if i%verifyCtxStride == 0 && ctx.Err() != nil {
+			stopped = true
+			return -1
+		}
 		return int(i)
+	}
+	deliver := func(p Pair) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			return
+		}
+		if !emit(p) {
+			stopped = true
+		}
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			for {
 				i := take()
@@ -147,17 +191,12 @@ func VerifyAll(ts []*tree.Tree, cands []Candidate, tau int, verify Verifier, wor
 				}
 				c := cands[i]
 				if d, ok := verify(ts[c.I], ts[c.J], tau); ok {
-					results[w] = append(results[w], makePair(c, d))
+					deliver(makePair(c, d))
 				}
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
-	var out []Pair
-	for _, r := range results {
-		out = append(out, r...)
-	}
-	return out
 }
 
 func makePair(c Candidate, d int) Pair {

@@ -126,6 +126,8 @@ type config struct {
 	hybrid     bool
 	seed       int64
 	prefilters []Prefilter
+	statsDst   *Stats
+	indexCap   int
 }
 
 // Option customises a join call.
@@ -192,12 +194,47 @@ func WithHybridVerification() Option {
 	return func(c *config) { c.hybrid = true }
 }
 
+// WithStats asks the call to write its execution statistics into dst when it
+// finishes. The slice-returning Corpus calls return Stats directly; this
+// option exists for the streaming variants, whose iter.Seq shape leaves no
+// room for a Stats return — dst is filled when the sequence is exhausted or
+// abandoned (partial statistics on cancellation or early break).
+func WithStats(dst *Stats) Option { return func(c *config) { c.statsDst = dst } }
+
+// WithIndexCacheCap bounds the per-threshold search-index cache behind a
+// Corpus's Search and KNN queries (and the standalone KNN searcher) at n
+// indexes, evicting the least recently used; n < 1 selects the default
+// (which covers a full KNN expanding sweep for trees up to ~4K nodes). Each
+// cached entry is a full PartSJ index over the collection, so the cap
+// trades rebuild time against memory — but a cap smaller than a query's
+// sweep makes the sweep cycle the LRU, rebuilding every index per query.
+func WithIndexCacheCap(n int) Option { return func(c *config) { c.indexCap = n } }
+
 func buildConfig(opts []Option) config {
 	var c config
 	for _, o := range opts {
 		o(&c)
 	}
 	return c
+}
+
+// validate reports whether the configured method and prefilter chain name
+// real algorithms. The Corpus API surfaces this as an error; the legacy free
+// functions panic on it.
+func (c config) validate() error {
+	switch c.method {
+	case MethodPartSJ, MethodSTR, MethodSET, MethodBruteForce, MethodHistogram, MethodEulerString, MethodPQGram:
+	default:
+		return fmt.Errorf("%w %d", ErrUnknownMethod, int(c.method))
+	}
+	for _, p := range c.prefilters {
+		switch p {
+		case PrefilterHistogram, PrefilterSTR, PrefilterSET, PrefilterEulerString, PrefilterPQGram:
+		default:
+			return fmt.Errorf("%w %d", ErrUnknownPrefilter, int(p))
+		}
+	}
+	return nil
 }
 
 func (c config) coreOptions(tau int) core.Options {
@@ -211,18 +248,25 @@ func (c config) coreOptions(tau int) core.Options {
 	}
 }
 
-// job assembles the engine pipeline for the configured method: its candidate
-// source, the prefilter chain followed by the method's own filter, and the
-// execution knobs. This is the single dispatch point behind SelfJoin and
-// Join.
-func (c config) job(tau int) engine.Job {
+// jobChecked assembles the engine pipeline for the configured method: its
+// candidate source, the prefilter chain followed by the method's own filter,
+// and the execution knobs. This is the single dispatch point behind the
+// Corpus queries and the legacy SelfJoin and Join; invalid input comes back
+// as an error.
+func (c config) jobChecked(tau int) (engine.Job, error) {
+	if tau < 0 {
+		return engine.Job{}, fmt.Errorf("%w %d", ErrNegativeThreshold, tau)
+	}
+	if err := c.validate(); err != nil {
+		return engine.Job{}, err
+	}
 	filters := make([]engine.PairFilter, 0, len(c.prefilters)+1)
 	for _, p := range c.prefilters {
 		filters = append(filters, p.stage())
 	}
 	switch c.method {
 	case MethodPartSJ:
-		return c.coreOptions(tau).Job(c.shards, filters)
+		return c.coreOptions(tau).Job(c.shards, filters), nil
 	case MethodSTR:
 		filters = append(filters, baseline.STRFilter())
 	case MethodSET:
@@ -235,39 +279,61 @@ func (c config) job(tau int) engine.Job {
 		filters = append(filters, pqgram.Filter(0))
 	case MethodBruteForce:
 		// Size window only.
-	default:
-		panic(fmt.Sprintf("treejoin: unknown method %v", c.method))
 	}
 	return engine.Job{
 		Source:  engine.SortedLoop(),
 		Filters: filters,
 		Tau:     tau,
 		Workers: c.workers,
+	}, nil
+}
+
+// job is jobChecked for the legacy free functions, which panic on invalid
+// input.
+func (c config) job(tau int) engine.Job {
+	job, err := c.jobChecked(tau)
+	if err != nil {
+		panic(err.Error())
 	}
+	return job
 }
 
 // SelfJoin reports every unordered pair of trees in ts whose tree edit
 // distance is at most tau, in ascending (I, J) order. All trees must share
 // one LabelTable.
+//
+// Deprecated: construct a Corpus with NewCorpus and use Corpus.SelfJoin
+// (cancellable, error-returning, and reusing per-tree signatures across
+// calls) or Corpus.SelfJoinSeq (streaming). This wrapper remains for
+// compatibility and keeps the legacy contract: it panics on a negative
+// threshold or an unknown method/prefilter, and recomputes every signature
+// per call.
 func SelfJoin(ts []*Tree, tau int, opts ...Option) ([]Pair, Stats) {
-	if tau < 0 {
-		panic(fmt.Sprintf("treejoin: negative threshold %d", tau))
-	}
 	c := buildConfig(opts)
 	pairs, st := c.job(tau).SelfJoin(ts)
+	c.publishStats(st)
 	return pairs, *st
 }
 
 // Join reports every cross pair (a ∈ A, b ∈ B) within distance tau; Pair.I
 // indexes into a and Pair.J into b. Every method supports cross joins. Both
 // collections must share one LabelTable.
+//
+// Deprecated: use Corpus.Join, which validates the shared label table,
+// returns errors instead of panicking, and reuses cached signatures. This
+// wrapper remains for compatibility and keeps the legacy panicking contract.
 func Join(a, b []*Tree, tau int, opts ...Option) ([]Pair, Stats) {
-	if tau < 0 {
-		panic(fmt.Sprintf("treejoin: negative threshold %d", tau))
-	}
 	c := buildConfig(opts)
 	pairs, st := c.job(tau).Join(a, b)
+	c.publishStats(st)
 	return pairs, *st
+}
+
+// publishStats copies st into the WithStats destination, if one was given.
+func (c config) publishStats(st *Stats) {
+	if c.statsDst != nil && st != nil {
+		*c.statsDst = *st
+	}
 }
 
 // Incremental is a streaming similarity join: trees are added one at a time,
@@ -279,7 +345,9 @@ type Incremental struct {
 	inner *core.Incremental
 }
 
-// NewIncremental returns an empty streaming join with threshold tau.
+// NewIncremental returns an empty streaming join with threshold tau. It
+// panics on a negative threshold; Corpus.Incremental is the error-returning
+// form, which additionally shares the corpus's signature cache.
 func NewIncremental(tau int, opts ...Option) *Incremental {
 	if tau < 0 {
 		panic(fmt.Sprintf("treejoin: negative threshold %d", tau))

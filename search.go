@@ -22,6 +22,10 @@ type Index struct {
 
 // NewIndex builds a search index over ts for threshold tau. All trees (and
 // later queries) must share one LabelTable.
+//
+// Deprecated: use Corpus.Search, which builds and caches per-threshold
+// indexes behind an LRU and returns errors instead of panicking. This
+// wrapper remains for compatibility and keeps the legacy panicking contract.
 func NewIndex(ts []*Tree, tau int, opts ...Option) *Index {
 	if tau < 0 {
 		panic(fmt.Sprintf("treejoin: negative threshold %d", tau))
@@ -46,6 +50,9 @@ func (x *Index) Tree(i int) *Tree { return x.inner.Tree(i) }
 // PartSJ at geometrically increasing thresholds until k pairs are in reach;
 // fewer than k pairs come back only when the collection has fewer than k
 // pairs in total. All trees must share one LabelTable.
+//
+// Deprecated: use Corpus.TopK, which is cancellable and reuses cached
+// signatures across the expanding rounds and with every other corpus query.
 func TopK(ts []*Tree, k int, opts ...Option) []Pair {
 	c := buildConfig(opts)
 	return core.TopK(ts, k, c.coreOptions(0))
@@ -54,18 +61,25 @@ func TopK(ts []*Tree, k int, opts ...Option) []Pair {
 // KNN answers k-nearest-neighbour queries over a fixed collection: Nearest
 // returns the k collection trees closest to a query by TED, with no distance
 // threshold required. Internally it searches PartSJ indexes at expanding
-// thresholds and caches one index per threshold visited, so a query workload
-// settles into reusing a handful of them. Nearest is safe for concurrent
-// use.
+// thresholds, keeping the most recently used of them in a small LRU
+// (WithIndexCacheCap), so a query workload settles into reusing a handful.
+// Nearest is safe for concurrent use.
 type KNN struct {
 	inner *core.KNN
 }
 
 // NewKNN prepares a k-NN searcher over ts. All trees (and later queries)
 // must share one LabelTable.
+//
+// Deprecated: use Corpus.KNN, which shares the corpus's signature cache and
+// per-threshold index LRU with every other query.
 func NewKNN(ts []*Tree, opts ...Option) *KNN {
 	c := buildConfig(opts)
-	return &KNN{inner: core.NewKNN(ts, c.coreOptions(0))}
+	capacity := c.indexCap
+	if capacity < 1 {
+		capacity = core.DefaultIndexCacheCap
+	}
+	return &KNN{inner: core.NewKNNCached(ts, c.coreOptions(0), nil, capacity)}
 }
 
 // Nearest returns the k collection trees closest to q, ordered by

@@ -16,15 +16,23 @@
 // as are the survey's other filters (HIST statistics histograms, EUL Euler
 // strings) and a brute-force oracle.
 //
-// Beyond the thresholded self-join the package answers the surrounding query
-// family: non-self joins (Join), similarity search (Index), top-k closest
-// pairs (TopK), k-nearest neighbours (KNN), subtree search inside one large
-// tree (SubtreeSearch), and a streaming join with inserts, deletes and
-// updates (Incremental). Distances come in exact (Distance), bounded
-// (DistanceWithin), weighted (DistanceWithCosts), and constrained
-// (ConstrainedDistance) forms, with structural diffs (EditScript, Mapping,
-// Transform) on top. Trees parse from bracket, XML, Newick, and RNA
-// dot-bracket notation and persist in a compact binary dataset format.
+// The primary entry point is the Corpus: construct it once over a
+// collection, then run the whole query family off it — thresholded self and
+// cross joins (SelfJoin, Join), similarity search (Search), top-k closest
+// pairs (TopK), k-nearest neighbours (KNN), and a streaming join with
+// inserts, deletes and updates (Incremental). The corpus caches every
+// per-tree filter signature the first query computes, so later queries — at
+// any threshold, with any method — skip that work; every query takes a
+// context for cancellation, and the Seq variants stream verified pairs with
+// constant result memory. The original free functions (SelfJoin, Join,
+// NewIndex, TopK, NewKNN) remain as deprecated one-shot wrappers.
+//
+// Also here: subtree search inside one large tree (SubtreeSearch), exact
+// (Distance), bounded (DistanceWithin), weighted (DistanceWithCosts), and
+// constrained (ConstrainedDistance) distances, and structural diffs
+// (EditScript, Mapping, Transform) on top. Trees parse from bracket, XML,
+// Newick, and RNA dot-bracket notation and persist in a compact binary
+// dataset format.
 //
 // # Quick start
 //
@@ -33,10 +41,12 @@
 //		treejoin.MustParseBracket("{album{title{Blue}}{year{1971}}}", lt),
 //		treejoin.MustParseBracket("{album{title{Blue!}}{year{1971}}}", lt),
 //	}
-//	pairs, _ := treejoin.SelfJoin(docs, 1)
+//	corpus, err := treejoin.NewCorpus(docs)
+//	if err != nil { ... }
+//	pairs, _, err := corpus.SelfJoin(ctx, 1)
 //	// pairs == [{I:0 J:1 Dist:1}]
 //
-// All trees joined together must share one LabelTable.
+// All trees joined together must share one LabelTable; NewCorpus checks.
 package treejoin
 
 import (
