@@ -1,0 +1,132 @@
+package treejoin_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"treejoin"
+	"treejoin/internal/synth"
+)
+
+// TestUnbandedVerificationMatches: the τ-banded default verifier and the
+// WithUnbandedVerification full-DP baseline produce identical result sets
+// across methods and thresholds, the banded run records its pruning
+// counters, and the unbanded run keeps them zero.
+func TestUnbandedVerificationMatches(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Synthetic(50, 23)
+	cp := mustCorpus(t, ts)
+	for _, m := range []treejoin.Method{
+		treejoin.MethodPartSJ, treejoin.MethodBruteForce, treejoin.MethodHistogram,
+	} {
+		for _, tau := range []int{0, 1, 3, 6} {
+			banded, bst, err := cp.SelfJoin(ctx, tau, treejoin.WithMethod(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, fst, err := cp.SelfJoin(ctx, tau, treejoin.WithMethod(m), treejoin.WithUnbandedVerification())
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePairs(t, "banded vs unbanded", banded, full)
+			if fst.DPAvoided != 0 || fst.KeyrootsSkipped != 0 || fst.BandAborts != 0 {
+				t.Fatalf("%v τ=%d: unbanded run recorded banded counters %+v", m, tau, fst)
+			}
+			if m == treejoin.MethodBruteForce && tau <= 1 &&
+				bst.DPAvoided == 0 && bst.KeyrootsSkipped == 0 && bst.BandAborts == 0 {
+				t.Fatalf("%v τ=%d: banded run recorded no verifier pruning (candidates=%d)",
+					m, tau, bst.Candidates)
+			}
+		}
+	}
+	// Hybrid verification composes (the banded TED sits behind the string
+	// screens) and unbanded overrides it; both still match.
+	ref, _, err := cp.SelfJoin(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, _, err := cp.SelfJoin(ctx, 3, treejoin.WithHybridVerification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "hybrid", hyb, ref)
+	both, _, err := cp.SelfJoin(ctx, 3, treejoin.WithHybridVerification(), treejoin.WithUnbandedVerification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "hybrid+unbanded", both, ref)
+}
+
+// TestConcurrentVerifyAcrossTwoCorpora hammers the verifier's pooled scratch
+// buffers and shared cached preparations from many concurrent verify workers
+// across two corpora — parallel self joins on each side and cross joins
+// between them, all racing — and asserts every result identical to the
+// serial run. Under -race this is the detector test for the scratch pool,
+// the lazy Prep materialisation, and the routed cross-join cache.
+func TestConcurrentVerifyAcrossTwoCorpora(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Sentiment(85, 3) // one generation → one shared label table
+	as, bs := ts[:45], ts[45:]
+	cpA := mustCorpus(t, as)
+	cpB := mustCorpus(t, bs)
+	const tau = 2
+
+	selfA, _, err := cpA.SelfJoin(ctx, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfB, _, err := cpB.SelfJoin(ctx, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, _, err := cpA.Join(ctx, cpB, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				switch (w + round) % 3 {
+				case 0:
+					got, _, err := cpA.SelfJoin(ctx, tau, treejoin.WithWorkers(4))
+					if err != nil {
+						fail(err)
+						return
+					}
+					samePairs(t, "concurrent selfA", got, selfA)
+				case 1:
+					got, _, err := cpB.SelfJoin(ctx, tau, treejoin.WithWorkers(4), treejoin.WithMethod(treejoin.MethodHistogram))
+					if err != nil {
+						fail(err)
+						return
+					}
+					samePairs(t, "concurrent selfB", got, selfB)
+				case 2:
+					got, _, err := cpA.Join(ctx, cpB, tau, treejoin.WithWorkers(4))
+					if err != nil {
+						fail(err)
+						return
+					}
+					samePairs(t, "concurrent cross", got, cross)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

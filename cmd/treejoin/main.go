@@ -203,6 +203,8 @@ func printStats(m treejoin.Method, tau int, st treejoin.Stats) {
 	fmt.Fprintf(os.Stderr, "results:     %d\n", st.Results)
 	fmt.Fprintf(os.Stderr, "candgen:     %v\n", st.CandTime+st.PartitionTime)
 	fmt.Fprintf(os.Stderr, "verify:      %v\n", st.VerifyTime)
+	fmt.Fprintf(os.Stderr, "verifier:    %d DPs avoided, %d keyroots skipped, %d band aborts\n",
+		st.DPAvoided, st.KeyrootsSkipped, st.BandAborts)
 	fmt.Fprintf(os.Stderr, "total:       %v\n", st.Total())
 	for _, stage := range st.Stages {
 		fmt.Fprintf(os.Stderr, "stage %-6s %d in, %d pruned, %d out\n",

@@ -50,10 +50,12 @@ type CacheStats = engine.CacheStats
 //
 // The corpus owns a signature cache: every per-tree artifact any query
 // computes — traversal strings, histograms, Euler strings and gram bags,
-// binary views, δ-partitions — is cached by (artifact, tree) and reused by
-// every later query, whatever its threshold or method. A second SelfJoin at
-// a different τ recomputes no per-tree signature; only the τ-dependent pair
-// predicates and candidate enumeration run again. Search and KNN queries
+// binary views, δ-partitions, and the verifier's Zhang–Shasha preparations
+// (postorder labels, leftmost-leaf indices, keyroots of both
+// decompositions) — is cached by (artifact, tree) and reused by every later
+// query, whatever its threshold or method. A second SelfJoin at a different
+// τ recomputes no per-tree signature and re-runs no prepare; only the
+// τ-dependent pair predicates and candidate enumeration run again. Search and KNN queries
 // additionally share a small LRU of per-threshold PartSJ indexes (see
 // WithIndexCacheCap). The cache never evicts: its memory is bounded by the
 // filter kinds and PartSJ thresholds actually queried (see DESIGN.md,

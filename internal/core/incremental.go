@@ -66,8 +66,13 @@ func NewIncrementalCached(opts Options, cache *engine.Cache) *Incremental {
 		compactAt: 16,
 	}
 	if opts.HybridVerify && opts.Verifier == nil {
-		inc.seqs = newSeqCache(nil)
+		inc.seqs = newSeqCache(nil, cache, nil)
 		inc.opts.Verifier = inc.seqs.verifier()
+	} else if opts.Verifier == nil {
+		// τ-banded bounded TED drawing preparations from the stream's cache
+		// (a corpus-backed stream reuses preps its joins already computed; a
+		// nil cache computes them per pair, as before).
+		inc.opts.Verifier = engine.NewTEDVerifier(cache, nil)
 	}
 	return inc
 }

@@ -88,10 +88,11 @@ func Join(a, b []*tree.Tree, opts Options) ([]sim.Pair, *sim.Stats) {
 	return opts.Job(0, nil).Join(a, b)
 }
 
-// HybridVerifier returns the hybrid verification stage over ts: candidates
-// are screened with the τ-banded traversal-string lower bounds before the
-// exact bounded TED (see verify.go). It is the engine Job.VerifierFor hook
-// behind Options.HybridVerify.
-func HybridVerifier(ts []*tree.Tree) sim.Verifier {
-	return newSeqCache(ts).verifier()
+// HybridVerifier returns the hybrid verification stage over a run's
+// collection: candidates are screened with the τ-banded traversal-string
+// lower bounds before the τ-banded bounded TED (see verify.go), with both
+// the sequences and the TED preparations drawn from the run's artifact
+// cache. It is the engine Job.VerifierFor hook behind Options.HybridVerify.
+func HybridVerifier(c *engine.Collection) sim.Verifier {
+	return newSeqCache(c.Trees, c.Cache(), c.VerifyCounters()).verifier()
 }

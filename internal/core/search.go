@@ -23,6 +23,8 @@ import (
 type Index struct {
 	opts   Options
 	ts     []*tree.Tree
+	cache  *engine.Cache
+	seqs   *seqCache // non-nil when the index owns the hybrid verifier
 	parts  []*Partition
 	ix     *invIndex
 	smalls []int
@@ -51,14 +53,19 @@ func NewIndex(ts []*tree.Tree, opts Options) *Index {
 // thresholds reuse at least the views. A nil cache computes everything
 // locally. Options must be valid.
 func NewIndexCached(ts []*tree.Tree, opts Options, cache *engine.Cache) *Index {
-	if opts.HybridVerify && opts.Verifier == nil {
-		opts.Verifier = newSeqCache(ts).verifier()
-	}
 	ix := &Index{
 		opts:  opts,
 		ts:    ts,
+		cache: cache,
 		parts: make([]*Partition, len(ts)),
 		ix:    newInvIndex(opts.Tau, opts.Position),
+	}
+	if opts.HybridVerify && opts.Verifier == nil {
+		// Kept on the index (not just as an opts.Verifier closure) so
+		// SearchCtx can pre-bind each query instead of re-deriving its
+		// sequences and preparation per candidate.
+		ix.seqs = newSeqCache(ts, cache, nil)
+		ix.opts.Verifier = ix.seqs.verifier()
 	}
 	delta := opts.delta()
 	partKey := partitionCacheKey(delta)
@@ -98,9 +105,25 @@ const searchCtxStride = 64
 // verification loops promptly and returns ctx's error with nil matches.
 func (x *Index) SearchCtx(ctx context.Context, q *tree.Tree) ([]Match, error) {
 	verify := x.opts.Verifier
-	if verify == nil {
+	switch {
+	case x.seqs != nil:
+		// Hybrid screen with the query's sequences and preparation bound
+		// once per call.
+		verify = x.seqs.searchVerifier(q)
+	case verify == nil:
+		// τ-banded bounded TED: collection preparations come from the
+		// index's artifact cache; the query's preparation is computed once
+		// per call and never stored, so query traffic cannot pin the cache.
+		qp := ted.NewPrep(q)
 		verify = func(t1, t2 *tree.Tree, tau int) (int, bool) {
-			return ted.DistanceBounded(t1, t2, tau)
+			p1, p2 := qp, qp
+			if t1 != q {
+				p1 = engine.PrepFor(x.cache, t1)
+			}
+			if t2 != q {
+				p2 = engine.PrepFor(x.cache, t2)
+			}
+			return ted.DistanceBoundedPrep(p1, p2, tau, nil)
 		}
 	}
 	b := lcrs.Build(q)

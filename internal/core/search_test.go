@@ -51,6 +51,38 @@ func TestSearchMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestHybridSearchMatchesBruteForce: an index built with HybridVerify
+// returns the same matches as the exact scan for queries from outside (and
+// inside) the collection. Regression test: the hybrid screen used to look
+// the query's traversal sequences up in a collection-only map, treat the
+// miss as empty sequences, and prune every candidate.
+func TestHybridSearchMatchesBruteForce(t *testing.T) {
+	ts := synth.Generate(synth.Params{
+		N: 50, AvgSize: 20, SizeJitter: 0.4, MaxFanout: 4, MaxDepth: 8,
+		Labels: 8, DepthBias: 0, Cluster: 4, Decay: 0.08, Seed: 23})
+	lt := ts[0].Labels
+	queries := []*tree.Tree{
+		tree.MustParseBracket(tree.FormatBracket(ts[7]), lt), // near-member, distinct pointer
+		ts[12], // a member itself
+		tree.MustParseBracket("{l0{l1}{l2}}", lt),
+	}
+	for tau := 0; tau <= 2; tau++ {
+		ix := core.NewIndex(ts, core.Options{Tau: tau, HybridVerify: true})
+		plain := core.NewIndex(ts, core.Options{Tau: tau})
+		for qi, q := range queries {
+			got, want := ix.Search(q), plain.Search(q)
+			if len(got) != len(want) {
+				t.Fatalf("τ=%d q%d: hybrid %d matches, plain %d (%v vs %v)", tau, qi, len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("τ=%d q%d: hybrid match %d = %v, want %v", tau, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestSearchConcurrent(t *testing.T) {
 	ts := synth.Synthetic(60, 19)
 	ix := core.NewIndex(ts, core.Options{Tau: 2})

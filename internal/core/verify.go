@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+
+	"treejoin/internal/engine"
 	"treejoin/internal/sim"
 	"treejoin/internal/strdist"
 	"treejoin/internal/ted"
@@ -8,26 +11,37 @@ import (
 )
 
 // Hybrid verification (an extension beyond the paper): before running the
-// cubic TED on a candidate pair, screen it with the τ-banded string edit
+// bounded TED on a candidate pair, screen it with the τ-banded string edit
 // distance of the trees' preorder and postorder label sequences — both TED
 // lower bounds (the STR baseline's filter), each costing only O(τ·n). The
 // subgraph filter's surviving false positives are typically pairs just past
 // the threshold (near-duplicates with a few extra edits), exactly the pairs
-// a tight cheap lower bound rejects. Results are unchanged; only verification
-// time drops. Enable with Options.HybridVerify.
+// a tight cheap lower bound rejects. Results are unchanged; only
+// verification time drops. Enable with Options.HybridVerify.
 
-// seqCache holds the traversal sequences for a fixed tree collection. It is
-// immutable after newSeqCache and safe for concurrent verifiers.
-type seqCache struct {
-	pre  map[*tree.Tree][]int32
-	post map[*tree.Tree][]int32
+// seqKey names the artifact-cache entry holding a tree's traversal label
+// sequences for the hybrid screen.
+const seqKey = "hybrid/traversals"
+
+// travSeqs is the per-tree hybrid signature: both traversal label sequences.
+type travSeqs struct {
+	pre, post []int32
 }
 
-func newSeqCache(ts []*tree.Tree) *seqCache {
-	c := &seqCache{
-		pre:  make(map[*tree.Tree][]int32, len(ts)),
-		post: make(map[*tree.Tree][]int32, len(ts)),
-	}
+// seqCache holds the traversal sequences for a fixed tree collection, drawn
+// from (and stored back into) an artifact cache when one is supplied. It is
+// immutable after newSeqCache and safe for concurrent verifiers. Trees
+// outside the collection (search queries) get their sequences and TED
+// preparations computed per call and never stored, so query traffic cannot
+// pin corpus cache memory.
+type seqCache struct {
+	cache *engine.Cache
+	seqs  map[*tree.Tree]travSeqs
+	tc    *ted.Counters
+}
+
+func newSeqCache(ts []*tree.Tree, cache *engine.Cache, tc *ted.Counters) *seqCache {
+	c := &seqCache{cache: cache, seqs: make(map[*tree.Tree]travSeqs, len(ts)), tc: tc}
 	for _, t := range ts {
 		c.add(t)
 	}
@@ -37,23 +51,83 @@ func newSeqCache(ts []*tree.Tree) *seqCache {
 // add caches the traversal sequences of t. Not safe concurrently with
 // verifier calls; the joins only add between verification batches.
 func (c *seqCache) add(t *tree.Tree) {
-	if _, ok := c.pre[t]; ok {
+	if _, ok := c.seqs[t]; ok {
 		return
 	}
-	c.pre[t] = tree.LabelSeq(t, tree.Preorder(t))
-	c.post[t] = tree.LabelSeq(t, tree.Postorder(t))
+	if v, ok := c.cache.Lookup(seqKey, t); ok {
+		c.seqs[t] = v.(travSeqs)
+		return
+	}
+	s := computeSeqs(t)
+	c.cache.Store(seqKey, t, s)
+	c.seqs[t] = s
+}
+
+func computeSeqs(t *tree.Tree) travSeqs {
+	return travSeqs{
+		pre:  tree.LabelSeq(t, tree.Preorder(t)),
+		post: tree.LabelSeq(t, tree.Postorder(t)),
+	}
+}
+
+// seqsOf returns t's sequences: collection trees from the prebuilt map,
+// anything else computed on the fly.
+func (c *seqCache) seqsOf(t *tree.Tree) travSeqs {
+	if s, ok := c.seqs[t]; ok {
+		return s
+	}
+	return computeSeqs(t)
+}
+
+// prepOf returns t's TED preparation: collection trees through the artifact
+// cache, anything else computed locally.
+func (c *seqCache) prepOf(t *tree.Tree) *ted.Prep {
+	if _, ok := c.seqs[t]; ok {
+		return engine.PrepFor(c.cache, t)
+	}
+	return ted.NewPrep(t)
 }
 
 // verifier returns a sim.Verifier that applies the string lower bounds and
-// falls back to the exact bounded TED.
+// falls back to the τ-banded bounded TED over cached preparations.
 func (c *seqCache) verifier() sim.Verifier {
 	return func(t1, t2 *tree.Tree, tau int) (int, bool) {
-		if strdist.Bounded(c.pre[t1], c.pre[t2], tau) > tau {
+		s1, s2 := c.seqsOf(t1), c.seqsOf(t2)
+		if strdist.Bounded(s1.pre, s2.pre, tau) > tau {
 			return tau + 1, false
 		}
-		if strdist.Bounded(c.post[t1], c.post[t2], tau) > tau {
+		if strdist.Bounded(s1.post, s2.post, tau) > tau {
 			return tau + 1, false
 		}
-		return ted.DistanceBounded(t1, t2, tau)
+		return ted.DistanceBoundedPrep(c.prepOf(t1), c.prepOf(t2), tau, c.tc)
+	}
+}
+
+// searchVerifier is verifier pre-bound to one query tree: the query's
+// sequences and TED preparation are computed once per call instead of once
+// per candidate (the query is never in the collection maps), and still never
+// stored, so query traffic cannot pin corpus memory.
+func (c *seqCache) searchVerifier(q *tree.Tree) sim.Verifier {
+	qs := c.seqsOf(q)
+	var qpOnce sync.Once
+	var qp *ted.Prep
+	inner := c.verifier()
+	return func(t1, t2 *tree.Tree, tau int) (int, bool) {
+		if t1 != q && t2 != q {
+			return inner(t1, t2, tau)
+		}
+		if t2 == q {
+			// Canonical orientation: collection tree second.
+			t1, t2 = t2, t1
+		}
+		s2 := c.seqsOf(t2)
+		if strdist.Bounded(qs.pre, s2.pre, tau) > tau {
+			return tau + 1, false
+		}
+		if strdist.Bounded(qs.post, s2.post, tau) > tau {
+			return tau + 1, false
+		}
+		qpOnce.Do(func() { qp = ted.NewPrep(q) })
+		return ted.DistanceBoundedPrep(qp, c.prepOf(t2), tau, c.tc)
 	}
 }

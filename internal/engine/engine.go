@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"treejoin/internal/sim"
+	"treejoin/internal/ted"
 	"treejoin/internal/tree"
 )
 
@@ -51,9 +52,10 @@ type Collection struct {
 	// task count.
 	Workers int
 
-	ctx   context.Context
-	cache *Cache
-	sizes []int // sizes in Order order, for binary-searching the window
+	ctx      context.Context
+	cache    *Cache
+	sizes    []int // sizes in Order order, for binary-searching the window
+	counters *ted.Counters
 }
 
 // Cancelled reports whether the run's context has been cancelled — by the
@@ -66,6 +68,12 @@ func (c *Collection) Cancelled() bool { return c.ctx.Err() != nil }
 // corpus cache across joins; a one-shot run gets a private cache that at
 // least lets concurrent tasks of the same join share per-tree artifacts.
 func (c *Collection) Cache() *Cache { return c.cache }
+
+// VerifyCounters returns the run's shared τ-banded verifier instrumentation.
+// Verifiers built for this run (the default TED verifier, the hybrid
+// screen's fallback) record their pruning here; the engine folds the totals
+// into the run's Stats.
+func (c *Collection) VerifyCounters() *ted.Counters { return c.counters }
 
 // Cross reports whether the collection is the union of two sides.
 func (c *Collection) Cross() bool { return c.Split >= 0 }
@@ -93,7 +101,7 @@ func newCollection(ctx context.Context, ts []*tree.Tree, split, tau, workers int
 	if cache == nil {
 		cache = NewCache()
 	}
-	c := &Collection{Trees: ts, Split: split, Tau: tau, Workers: workers, ctx: ctx, cache: cache}
+	c := &Collection{Trees: ts, Split: split, Tau: tau, Workers: workers, ctx: ctx, cache: cache, counters: new(ted.Counters)}
 	c.Order = sim.SizeOrder(ts)
 	c.sizes = make([]int, len(c.Order))
 	for p, ti := range c.Order {
@@ -278,12 +286,14 @@ type Job struct {
 	Filters []PairFilter
 	// Tau is the TED threshold τ ≥ 0.
 	Tau int
-	// Verifier decides candidate pairs; nil means sim.DefaultVerifier.
+	// Verifier decides candidate pairs; nil installs the default τ-banded
+	// TED verifier over preparations cached in the run's Cache.
 	Verifier sim.Verifier
 	// VerifierFor, when non-nil and Verifier is nil, builds the verifier
-	// from the combined collection (e.g. the hybrid screen's sequence
-	// cache). It runs once per join.
-	VerifierFor func(ts []*tree.Tree) sim.Verifier
+	// from the run's collection (e.g. the hybrid screen's sequence cache,
+	// which draws on the collection's artifact cache and verify counters).
+	// It runs once per join.
+	VerifierFor func(c *Collection) sim.Verifier
 	// Workers sizes the worker pool used for candidate generation and TED
 	// verification; ≤ 1 runs sequentially.
 	Workers int
@@ -388,7 +398,23 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 
 	verifier := job.Verifier
 	if verifier == nil && job.VerifierFor != nil {
-		verifier = job.VerifierFor(ts)
+		verifier = job.VerifierFor(c)
+	}
+	if verifier == nil {
+		// The preparation is a τ-independent per-tree signature like any
+		// filter's: compute (or warm-hit) every tree's now, so the corpus
+		// contract — a later join recomputes no per-tree signature — covers
+		// the verifier too, and per-candidate lookups stay lock-free. The
+		// decomposition arrays inside each Prep stay lazy; only pairs that
+		// reach a DP materialise them. Like a filter stage's preparation,
+		// this is an uncancellable unit — check the context first rather
+		// than starting work the caller abandoned.
+		if err := outer.Err(); err != nil {
+			return stats, err
+		}
+		vstart := time.Now()
+		verifier = tedVerifierOver(ts, c.cache, c.counters)
+		stats.VerifyTime += time.Since(vstart)
 	}
 	flushAt := 0
 	if job.Workers <= 1 {
@@ -442,6 +468,9 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 	}
 	sim.VerifyStream(ctx, ts, cands, job.Tau, verifier, job.Workers, stats, em.emit)
 	stats.Results = em.n
+	stats.DPAvoided += c.counters.DPAvoided.Load()
+	stats.KeyrootsSkipped += c.counters.KeyrootsSkipped.Load()
+	stats.BandAborts += c.counters.BandAborts.Load()
 	if err := outer.Err(); err != nil {
 		return stats, err
 	}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"treejoin/internal/sim"
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// prepKey names the per-tree Zhang–Shasha preparation artifact in the
+// corpus cache: postorder labels, leftmost-leaf indices and keyroots of both
+// the left- and right-path decompositions, the strategy costs, and the
+// sorted label multiset (ted.Prep). Like every per-tree signature it is
+// τ-independent, so a warm corpus never re-runs prepare whatever threshold
+// or method a later join picks.
+const prepKey = "ted/prep"
+
+// PrepFor returns the cached verifier preparation of t, computing and
+// caching it on first use. A nil cache computes a fresh preparation.
+func PrepFor(c *Cache, t *tree.Tree) *ted.Prep {
+	if v, ok := c.Lookup(prepKey, t); ok {
+		return v.(*ted.Prep)
+	}
+	p := ted.NewPrep(t)
+	c.Store(prepKey, t, p)
+	return p
+}
+
+// NewTEDVerifier returns the default candidate verifier: the τ-banded,
+// early-terminating bounded TED over cached preparations. tc, when non-nil,
+// accumulates the verifier's pruning counters (it is safe to share across
+// workers); the engine folds them into the run's Stats.
+func NewTEDVerifier(c *Cache, tc *ted.Counters) sim.Verifier {
+	return func(t1, t2 *tree.Tree, tau int) (int, bool) {
+		return ted.DistanceBoundedPrep(PrepFor(c, t1), PrepFor(c, t2), tau, tc)
+	}
+}
+
+// tedVerifierOver is NewTEDVerifier specialised to a fixed collection: the
+// preparations are resolved through the cache once, up front, and the
+// verifier reads them from an immutable map — lock-free on the hot parallel
+// verify path, where two mutex-guarded cache lookups per candidate would
+// serialise the workers the banding just unblocked. Trees outside the
+// collection fall back to the cache.
+func tedVerifierOver(ts []*tree.Tree, c *Cache, tc *ted.Counters) sim.Verifier {
+	preps := Cached(c, prepKey, ts, ted.NewPrep)
+	byTree := make(map[*tree.Tree]*ted.Prep, len(ts))
+	for i, t := range ts {
+		byTree[t] = preps[i]
+	}
+	return func(t1, t2 *tree.Tree, tau int) (int, bool) {
+		p1, p2 := byTree[t1], byTree[t2]
+		if p1 == nil {
+			p1 = PrepFor(c, t1)
+		}
+		if p2 == nil {
+			p2 = PrepFor(c, t2)
+		}
+		return ted.DistanceBoundedPrep(p1, p2, tau, tc)
+	}
+}
+
+// FullTEDVerifier is the Job.VerifierFor hook that forces the pre-banding
+// verifier — size lower bound, then the full (unbanded) Zhang–Shasha DP — on
+// every candidate. It backs the public WithUnbandedVerification ablation
+// option and the verify benchmarks' baseline; results are identical to the
+// banded verifier, only slower.
+func FullTEDVerifier(c *Collection) sim.Verifier {
+	cache := c.Cache()
+	return func(t1, t2 *tree.Tree, tau int) (int, bool) {
+		return ted.DistanceBoundedPrepFull(PrepFor(cache, t1), PrepFor(cache, t2), tau)
+	}
+}

@@ -65,6 +65,13 @@ type Stats struct {
 	MatchTests        int64         // full subgraph-match verifications run
 	MatchHits         int64         // match tests that succeeded
 	SmallTreeFallback int64         // candidate pairs produced by the small-tree path
+
+	// τ-banded verifier counters, recorded by the default threshold-aware
+	// TED verifier (zero when a custom Verifier decided the candidates; see
+	// internal/ted and DESIGN.md, "Threshold-aware verification").
+	DPAvoided       int64 // candidates settled by the size/label lower bounds alone — full DPs avoided
+	KeyrootsSkipped int64 // keyroot-pair forest DPs pruned by the positional skip
+	BandAborts      int64 // forest DPs cut short when a banded row's frontier exceeded τ
 }
 
 // Total returns the end-to-end join time.
@@ -77,7 +84,10 @@ func (s *Stats) Total() time.Duration {
 // tests inject instrumented verifiers.
 type Verifier func(t1, t2 *tree.Tree, tau int) (int, bool)
 
-// DefaultVerifier is the RTED-style bounded TED used by all join methods.
+// DefaultVerifier is the τ-banded bounded TED (RTED-style strategy choice,
+// threshold-aware DP). Engine-driven joins install a cache-backed variant
+// that reuses per-tree preparations; this uncached form is the fallback for
+// direct VerifyStream callers.
 func DefaultVerifier(t1, t2 *tree.Tree, tau int) (int, bool) {
 	return ted.DistanceBounded(t1, t2, tau)
 }

@@ -1,0 +1,282 @@
+// Threshold-aware (τ-banded) Zhang–Shasha. The similarity joins never need
+// an unbounded distance: every candidate pair comes with the join threshold
+// τ, and the verifier only has to decide TED ≤ τ — exactly when it is, the
+// exact distance is wanted. This file implements that tri-state verifier as
+// a banded variant of the DP in zs.go, in the spirit of Touzet's k-strip
+// algorithms for similar trees:
+//
+//   - every forest DP touches only cells within τ of its diagonal (any cell
+//     farther out has forest distance > τ by the size argument);
+//   - keyroot pairs whose leftmost leaves sit more than τ postorder
+//     positions apart are skipped outright (no ≤ τ mapping can use any
+//     subtree-pair entry they would produce);
+//   - a forest DP is abandoned as soon as an entire row of its band exceeds
+//     τ (the frontier can never recover — see DESIGN.md, "Threshold-aware
+//     verification" for the correctness argument);
+//   - DP scratch memory (the subtree-distance matrix and forest-distance
+//     rows) comes from a sync.Pool, so steady-state verification allocates
+//     nothing per pair.
+//
+// The unbounded DP in zs.go remains the oracle; the property tests sweep τ
+// and require verdict-and-distance agreement with it.
+package ted
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counters instruments the τ-banded verifier. All updates are atomic, so one
+// Counters value may be shared by every concurrent verify worker of a join;
+// a nil *Counters disables counting. The engine folds these into
+// sim.Stats after a run.
+type Counters struct {
+	// DPAvoided counts candidate pairs settled by the size/label lower
+	// bounds alone — full DPs avoided entirely.
+	DPAvoided atomic.Int64
+	// KeyrootsSkipped counts keyroot-pair forest DPs pruned by the
+	// positional (leftmost-leaf distance) skip.
+	KeyrootsSkipped atomic.Int64
+	// BandAborts counts forest DPs cut short because an entire row of the
+	// band exceeded τ.
+	BandAborts atomic.Int64
+}
+
+func (tc *Counters) addDPAvoided() {
+	if tc != nil {
+		tc.DPAvoided.Add(1)
+	}
+}
+
+func (tc *Counters) addKeyrootsSkipped(n int64) {
+	if tc != nil && n > 0 {
+		tc.KeyrootsSkipped.Add(n)
+	}
+}
+
+func (tc *Counters) addBandAborts(n int64) {
+	if tc != nil && n > 0 {
+		tc.BandAborts.Add(n)
+	}
+}
+
+// scratch is the reusable DP memory of one bounded verification: the
+// subtree-distance matrix and the forest-distance matrix.
+type scratch struct {
+	td []int32
+	fd []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (s *scratch) ensure(n1, n2 int) {
+	if need := n1 * n2; cap(s.td) < need {
+		s.td = make([]int32, need)
+	} else {
+		s.td = s.td[:need]
+	}
+	if need := (n1 + 1) * (n2 + 1); cap(s.fd) < need {
+		s.fd = make([]int32, need)
+	} else {
+		s.fd = s.fd[:need]
+	}
+}
+
+// DistanceBoundedPrep reports whether TED(a, b) ≤ tau from precomputed
+// preparations: the size and label lower bounds run first (no DP at all when
+// either proves the pair distant), then the τ-banded Zhang–Shasha over the
+// cheaper decomposition. The tri-state contract: on true the returned
+// distance is exact; on false the distance is only known to exceed tau and
+// the returned value is tau+1. tc, when non-nil, accumulates the verifier's
+// pruning counters. Both trees must share one LabelTable.
+func DistanceBoundedPrep(a, b *Prep, tau int, tc *Counters) (int, bool) {
+	if a.t.Labels != b.t.Labels {
+		panic("ted: trees must share a label table")
+	}
+	if tau < 0 {
+		return tau + 1, false
+	}
+	if d := a.size - b.size; d > tau || -d > tau {
+		tc.addDPAvoided()
+		return tau + 1, false
+	}
+	if labelLowerBoundSorted(a.labels, b.labels) > tau {
+		tc.addDPAvoided()
+		return tau + 1, false
+	}
+	p1, p2 := pick(a, b)
+	s := scratchPool.Get().(*scratch)
+	d, ok := bandedZS(p1, p2, tau, s, tc)
+	scratchPool.Put(s)
+	return d, ok
+}
+
+// DistanceBoundedPrepFull is the pre-banding verifier over preparations: the
+// size lower bound followed by the full (unbanded) Zhang–Shasha DP of the
+// cheaper decomposition, compared to tau afterwards. It is the oracle the
+// banded verifier is benchmarked and property-tested against, and the
+// verifier behind the public WithUnbandedVerification ablation option.
+func DistanceBoundedPrepFull(a, b *Prep, tau int) (int, bool) {
+	if a.t.Labels != b.t.Labels {
+		panic("ted: trees must share a label table")
+	}
+	if tau < 0 {
+		return tau + 1, false
+	}
+	if d := a.size - b.size; d > tau || -d > tau {
+		return tau + 1, false
+	}
+	p1, p2 := pick(a, b)
+	d := zs(p1, p2)
+	return d, d <= tau
+}
+
+// bandedZS decides TED ≤ tau over prepared trees. It returns the exact
+// distance and true when TED ≤ tau, and (tau+1, false) otherwise.
+//
+// Correctness sketch (full argument in DESIGN.md): forest-distance values
+// never drop below the forest size difference, and values along an optimal
+// DP chain never exceed the chain's final value, so every chain realising a
+// distance ≤ τ stays within the |di−dj| ≤ τ band and reads only
+// subtree-distance entries whose own value is ≤ τ — which the band computes
+// exactly, inner keyroots before outer. Everything the band never computes
+// is held at the sentinel τ+1; a chain through a sentinel is > τ, so it can
+// neither fake a result nor disturb an exact one.
+func bandedZS(a, b *prep, tau int, s *scratch, tc *Counters) (int, bool) {
+	n1, n2 := len(a.labels), len(b.labels)
+	// All distances are ≤ n1+n2 (delete one tree, insert the other), so a
+	// larger τ adds nothing — and keeping the sentinel at τ+1 small guards
+	// the int32 arithmetic.
+	bandTau := tau
+	if bandTau > n1+n2 {
+		bandTau = n1 + n2
+	}
+	s.ensure(n1, n2)
+	td, fd := s.td, s.fd
+	over := int32(bandTau) + 1
+	for i := range td {
+		td[i] = over
+	}
+	t32 := int32(bandTau)
+	var skipped, aborts int64
+	for _, i := range a.keyroots {
+		li := a.lml[i]
+		for _, j := range b.keyroots {
+			// Positional skip: every subtree pair this DP would solve has
+			// its leftmost leaves at postorder positions li and b.lml[j];
+			// a ≤ τ mapping aligns those boundaries within τ positions, so
+			// a farther pair can contribute nothing to a ≤ τ result.
+			if d := li - b.lml[j]; d > t32 || -d > t32 {
+				skipped++
+				continue
+			}
+			if !bandedForestDP(a, b, i, j, bandTau, td, fd) {
+				aborts++
+			}
+		}
+	}
+	tc.addKeyrootsSkipped(skipped)
+	tc.addBandAborts(aborts)
+	if d := td[(n1-1)*n2+(n2-1)]; d < over {
+		return int(d), true
+	}
+	return tau + 1, false
+}
+
+// bandedForestDP is forestDP restricted to the band |di−dj| ≤ tau, writing
+// exact values ≤ tau and capping everything else at the sentinel tau+1. It
+// reports false when the row frontier exceeded tau and the DP was abandoned
+// (all unwritten subtree entries are then provably > tau and keep their
+// sentinel).
+func bandedForestDP(a, b *prep, i, j int32, tau int, td, fd []int32) bool {
+	n2 := len(b.labels)
+	w := n2 + 1
+	over := int32(tau) + 1
+	li, lj := a.lml[i], b.lml[j]
+	m, n := int(i-li)+1, int(j-lj)+1
+	// Boundary row and column, only inside the band: fd(di,0) = di, fd(0,dj) = dj.
+	fd[0] = 0
+	bm := tau
+	if bm > m {
+		bm = m
+	}
+	for di := 1; di <= bm; di++ {
+		fd[di*w] = int32(di)
+	}
+	bn := tau
+	if bn > n {
+		bn = n
+	}
+	for dj := 1; dj <= bn; dj++ {
+		fd[dj] = int32(dj)
+	}
+	for di := 1; di <= m; di++ {
+		ai := li + int32(di) - 1
+		aLml := a.lml[ai]
+		aTree := aLml == li
+		aLabel := a.labels[ai]
+		lo := di - tau
+		rowMin := over
+		if lo < 1 {
+			lo = 1
+			// Cell (di, 0) is in the band; it belongs to the frontier.
+			rowMin = int32(di)
+		}
+		hi := di + tau
+		if hi > n {
+			hi = n
+		}
+		for dj := lo; dj <= hi; dj++ {
+			bj := lj + int32(dj) - 1
+			best := over
+			if dj < di+tau { // deletion: (di−1, dj) lies in the band
+				if v := fd[(di-1)*w+dj] + 1; v < best {
+					best = v
+				}
+			}
+			if dj > di-tau { // insertion: (di, dj−1) lies in the band
+				if v := fd[di*w+dj-1] + 1; v < best {
+					best = v
+				}
+			}
+			treeCase := aTree && b.lml[bj] == lj
+			if treeCase {
+				// Both prefixes end in a full subtree whose leftmost leaf
+				// starts the forest: tree-tree case on the diagonal (always
+				// in the band).
+				cost := int32(1)
+				if aLabel == b.labels[bj] {
+					cost = 0
+				}
+				if v := fd[(di-1)*w+dj-1] + cost; v < best {
+					best = v
+				}
+			} else {
+				x := int(aLml - li)
+				y := int(b.lml[bj] - lj)
+				if d := x - y; d <= tau && -d <= tau {
+					if v := fd[x*w+y] + td[int(ai)*n2+int(bj)]; v < best {
+						best = v
+					}
+				}
+			}
+			if best > over {
+				best = over
+			}
+			fd[di*w+dj] = best
+			if treeCase && best < over {
+				td[int(ai)*n2+int(bj)] = best
+			}
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		if rowMin >= over {
+			// The whole banded frontier exceeds τ: out-of-band cells are
+			// > τ by the size argument, so every later row — and every
+			// subtree entry it would write — is > τ too.
+			return false
+		}
+	}
+	return true
+}

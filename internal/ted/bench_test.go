@@ -76,3 +76,61 @@ func BenchmarkDistanceBounded(b *testing.B) {
 		})
 	}
 }
+
+// verifyWorkload builds the verification benchmark's candidate stream: a
+// clustered collection (near-duplicates plus cross-cluster pairs — the mix a
+// subgraph or signature filter hands the verifier) with preparations built
+// once, as a warm corpus join would have them, and every unordered pair as a
+// candidate.
+func verifyWorkload() ([]*ted.Prep, [][2]int) {
+	ts := synth.Generate(synth.Params{
+		N: 24, AvgSize: 56, MaxFanout: 4, MaxDepth: 10, Labels: 16,
+		DepthBias: 0.1, Cluster: 4, Decay: 0.04, Seed: 17,
+	})
+	preps := make([]*ted.Prep, len(ts))
+	for i, t := range ts {
+		preps[i] = ted.NewPrep(t)
+	}
+	var pairs [][2]int
+	for i := range ts {
+		for j := i + 1; j < len(ts); j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return preps, pairs
+}
+
+// BenchmarkVerifyFull is the pre-banding verifier (size lower bound + full
+// Zhang–Shasha DP) over the candidate stream: the baseline the τ-banded
+// verifier is measured against in BENCH_verify.json.
+func BenchmarkVerifyFull(b *testing.B) {
+	preps, pairs := verifyWorkload()
+	for _, tau := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					ted.DistanceBoundedPrepFull(preps[p[0]], preps[p[1]], tau)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyBanded is the threshold-aware verifier (lower bounds,
+// keyroot skipping, τ-banded DP with early termination, pooled scratch) over
+// the same candidate stream. Allocations per op should stay near zero.
+func BenchmarkVerifyBanded(b *testing.B) {
+	preps, pairs := verifyWorkload()
+	for _, tau := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			b.ReportAllocs()
+			var tc ted.Counters
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					ted.DistanceBoundedPrep(preps[p[0]], preps[p[1]], tau, &tc)
+				}
+			}
+		})
+	}
+}

@@ -81,17 +81,13 @@ func LabelLowerBound(t1, t2 *tree.Tree) int {
 	return m - common
 }
 
-// DistanceBounded reports whether TED(t1, t2) ≤ tau, returning the distance
-// when it is and any value greater than tau otherwise. Cheap lower bounds are
-// applied before the cubic computation; this is the verifier used by every
-// join method in this module.
+// DistanceBounded reports whether TED(t1, t2) ≤ tau, returning the exact
+// distance when it is and tau+1 otherwise. The size and label lower bounds
+// are applied before any DP, and the DP itself is the τ-banded Zhang–Shasha
+// of banded.go — worst-case cost shrinks from cubic to O(n·τ) per keyroot
+// pair, and hopeless pairs abort as soon as a band row proves them > τ. This
+// is the verifier behind every join method in this module; engine-driven
+// joins call DistanceBoundedPrep directly with cached preparations.
 func DistanceBounded(t1, t2 *tree.Tree, tau int) (int, bool) {
-	if tau < 0 {
-		return tau + 1, false
-	}
-	if SizeLowerBound(t1, t2) > tau {
-		return tau + 1, false
-	}
-	d := Distance(t1, t2)
-	return d, d <= tau
+	return DistanceBoundedPrep(NewPrep(t1), NewPrep(t2), tau, nil)
 }

@@ -124,6 +124,7 @@ type config struct {
 	position   core.PositionFilter
 	randPart   bool
 	hybrid     bool
+	unbanded   bool
 	seed       int64
 	prefilters []Prefilter
 	statsDst   *Stats
@@ -192,6 +193,19 @@ func WithRandomPartitions(seed int64) Option {
 // Join with MethodPartSJ.
 func WithHybridVerification() Option {
 	return func(c *config) { c.hybrid = true }
+}
+
+// WithUnbandedVerification makes candidate verification run the classic
+// full Zhang–Shasha DP on every pair that passes the size lower bound,
+// instead of the default threshold-aware verifier (τ-banded DP with keyroot
+// skipping and early termination; see DESIGN.md, "Threshold-aware
+// verification"). Results are identical — this is the ablation/baseline
+// knob behind the verify benchmarks, and the verifier counters in Stats
+// (DPAvoided, KeyrootsSkipped, BandAborts) stay zero under it. It replaces
+// the whole verification stage, so combining it with
+// WithHybridVerification also disables the hybrid string screens.
+func WithUnbandedVerification() Option {
+	return func(c *config) { c.unbanded = true }
 }
 
 // WithStats asks the call to write its execution statistics into dst when it
@@ -266,7 +280,7 @@ func (c config) jobChecked(tau int) (engine.Job, error) {
 	}
 	switch c.method {
 	case MethodPartSJ:
-		return c.coreOptions(tau).Job(c.shards, filters), nil
+		return c.applyVerifier(c.coreOptions(tau).Job(c.shards, filters)), nil
 	case MethodSTR:
 		filters = append(filters, baseline.STRFilter())
 	case MethodSET:
@@ -280,12 +294,23 @@ func (c config) jobChecked(tau int) (engine.Job, error) {
 	case MethodBruteForce:
 		// Size window only.
 	}
-	return engine.Job{
+	return c.applyVerifier(engine.Job{
 		Source:  engine.SortedLoop(),
 		Filters: filters,
 		Tau:     tau,
 		Workers: c.workers,
-	}, nil
+	}), nil
+}
+
+// applyVerifier applies the verification-stage options to an assembled job:
+// WithUnbandedVerification swaps in the full-DP verifier, replacing any
+// method-installed hook (including the hybrid screen).
+func (c config) applyVerifier(job engine.Job) engine.Job {
+	if c.unbanded {
+		job.Verifier = nil
+		job.VerifierFor = engine.FullTEDVerifier
+	}
+	return job
 }
 
 // job is jobChecked for the legacy free functions, which panic on invalid

@@ -143,6 +143,8 @@ func EqualUnordered(a, b *Tree) bool { return tree.EqualUnordered(a, b) }
 func Distance(a, b *Tree) int { return ted.Distance(a, b) }
 
 // DistanceWithin reports whether TED(a, b) ≤ tau; when it is, the returned
-// distance is exact, otherwise it is some value greater than tau. Cheap
-// lower bounds short-circuit the cubic computation.
+// distance is exact, otherwise it is some value greater than tau. The
+// computation is threshold-aware throughout: size and label lower bounds
+// short-circuit it entirely, and the DP itself is τ-banded with early
+// termination (see DESIGN.md, "Threshold-aware verification").
 func DistanceWithin(a, b *Tree, tau int) (int, bool) { return ted.DistanceBounded(a, b, tau) }
