@@ -8,6 +8,7 @@ package treejoin_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -277,18 +278,83 @@ func BenchmarkEngineParallelCandidates(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineFilterChain — the filter-chain ablation: each method alone
-// versus the same method with the cheap HIST statistics screen chained in
-// front of it via the engine pipeline (cf. the benchfig "pipeline" figure).
+// engineBenchCorpus is the standard synthetic corpus the engine candidate
+// benchmarks (FilterChain, IndexSource) share, so their variants compare
+// like-for-like: same trees, same thresholds, sorted loop versus token
+// index.
+func engineBenchCorpus() []*tree.Tree { return synth.Synthetic(2000, 1) }
+
+var engineBenchTaus = []int{1, 2, 4}
+
+// BenchmarkEngineFilterChain — the sorted-loop filter-chain baseline: each
+// method alone versus the same method with the cheap HIST statistics screen
+// chained in front of it via the engine pipeline (cf. the benchfig
+// "pipeline" figure). All variants run the O(n²) sorted loop; the matching
+// BenchmarkEngineIndexSource variants run the token inverted-index source
+// over the same corpus and thresholds.
 func BenchmarkEngineFilterChain(b *testing.B) {
-	ts := synth.Synthetic(300, 1)
-	const tau = 2
-	for _, m := range []bench.Method{
-		bench.PRT, bench.PRTHist, bench.STR, bench.STRHist, bench.PQG, bench.PQGHist,
-	} {
-		b.Run(string(m), func(b *testing.B) {
-			runJoin(b, m, "Synthetic", ts, tau)
-		})
+	ts := engineBenchCorpus()
+	for _, tau := range engineBenchTaus {
+		for _, m := range []bench.Method{
+			bench.PRT, bench.PRTHist, bench.STR, bench.STRHist, bench.PQG, bench.PQGHist,
+		} {
+			b.Run(fmt.Sprintf("%s/tau=%d", m, tau), func(b *testing.B) {
+				runJoin(b, m, "Synthetic", ts, tau)
+			})
+		}
+	}
+}
+
+// BenchmarkEngineIndexSource — the token inverted-index candidate source on
+// the signature methods, over the same corpus and thresholds as
+// BenchmarkEngineFilterChain. cold runs one-shot joins (every iteration
+// tokenises from scratch, like the sorted-loop baseline recomputes its
+// signatures); warm runs against a pre-warmed Corpus whose cache already
+// holds every token bag and filter signature — the steady state of a served
+// workload. Warm reuse is asserted by cache hit counters in
+// TestTokenIndexWarmCorpus.
+func BenchmarkEngineIndexSource(b *testing.B) {
+	ts := engineBenchCorpus()
+	methods := []struct {
+		name string
+		m    treejoin.Method
+	}{
+		{"STR", treejoin.MethodSTR},
+		{"PQG", treejoin.MethodPQGram},
+		{"HIST", treejoin.MethodHistogram},
+	}
+	for _, tau := range engineBenchTaus {
+		for _, mm := range methods {
+			b.Run(fmt.Sprintf("%s/tau=%d/cold", mm.name, tau), func(b *testing.B) {
+				var st treejoin.Stats
+				for i := 0; i < b.N; i++ {
+					_, st = treejoin.SelfJoin(ts, tau, treejoin.WithMethod(mm.m))
+				}
+				b.ReportMetric(float64(st.Candidates), "cand/op")
+				b.ReportMetric(float64(st.Results), "res/op")
+			})
+			b.Run(fmt.Sprintf("%s/tau=%d/warm", mm.name, tau), func(b *testing.B) {
+				corpus, err := treejoin.NewCorpus(ts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := context.Background()
+				if _, _, err := corpus.SelfJoin(ctx, tau, treejoin.WithMethod(mm.m)); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				var st treejoin.Stats
+				for i := 0; i < b.N; i++ {
+					var err error
+					_, st, err = corpus.SelfJoin(ctx, tau, treejoin.WithMethod(mm.m))
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(st.Candidates), "cand/op")
+				b.ReportMetric(float64(st.Results), "res/op")
+			})
+		}
 	}
 }
 

@@ -199,13 +199,18 @@ func main() {
 func printStats(m treejoin.Method, tau int, st treejoin.Stats) {
 	fmt.Fprintf(os.Stderr, "trees:       %d\n", st.Trees)
 	fmt.Fprintf(os.Stderr, "method:      %s, tau=%d\n", m, tau)
+	if st.Source != "" {
+		fmt.Fprintf(os.Stderr, "source:      %s\n", st.Source)
+	}
 	fmt.Fprintf(os.Stderr, "candidates:  %d\n", st.Candidates)
 	fmt.Fprintf(os.Stderr, "results:     %d\n", st.Results)
-	fmt.Fprintf(os.Stderr, "candgen:     %v\n", st.CandTime+st.PartitionTime)
+	// CPU sums each task's own clock and exceeds wall on multi-core runs;
+	// wall is what the user waited for the candidate stage.
+	fmt.Fprintf(os.Stderr, "candgen:     %v cpu, %v wall\n", st.CandTime+st.PartitionTime, st.CandWall)
 	fmt.Fprintf(os.Stderr, "verify:      %v\n", st.VerifyTime)
 	fmt.Fprintf(os.Stderr, "verifier:    %d DPs avoided, %d keyroots skipped, %d band aborts\n",
 		st.DPAvoided, st.KeyrootsSkipped, st.BandAborts)
-	fmt.Fprintf(os.Stderr, "total:       %v\n", st.Total())
+	fmt.Fprintf(os.Stderr, "total:       %v cpu\n", st.Total())
 	for _, stage := range st.Stages {
 		fmt.Fprintf(os.Stderr, "stage %-6s %d in, %d pruned, %d out\n",
 			stage.Name+":", stage.In, stage.Pruned, stage.Out())
@@ -213,6 +218,10 @@ func printStats(m treejoin.Method, tau int, st treejoin.Stats) {
 	if st.IndexedSubgraphs > 0 {
 		fmt.Fprintf(os.Stderr, "subgraphs:   %d indexed, %d probes, %d match tests (%d hits)\n",
 			st.IndexedSubgraphs, st.SubgraphProbes, st.MatchTests, st.MatchHits)
+	}
+	if st.PostingsScanned > 0 || st.IndexBuildTime > 0 {
+		fmt.Fprintf(os.Stderr, "tokenindex:  built in %v, %d postings scanned, %d partners skipped by count\n",
+			st.IndexBuildTime, st.PostingsScanned, st.SkippedByCount)
 	}
 }
 

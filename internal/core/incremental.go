@@ -147,7 +147,7 @@ func (inc *Incremental) Add(t *tree.Tree) []sim.Pair {
 	}
 	inc.stats.CandTime += time.Since(start)
 
-	pairs := sim.VerifyAll(inc.ts, cands, inc.opts.Tau, inc.opts.Verifier, inc.opts.Workers, &inc.stats)
+	pairs := sim.VerifyAll(inc.ts, cands, inc.opts.Tau, inc.opts.Verifier, sim.NormalizeWorkers(inc.opts.Workers), &inc.stats)
 
 	pStart := time.Now()
 	if sz >= inc.delta {

@@ -28,7 +28,8 @@ type Options struct {
 	HybridVerify bool
 	// Workers parallelises TED verification, the partitioning pre-pass, and
 	// (through ShardedSelfJoin's fragment-and-replicate decomposition) the
-	// candidate generation tasks; ≤ 1 runs sequentially.
+	// candidate generation tasks. 1 runs sequentially; values below 1
+	// ("unset") are normalized to runtime.GOMAXPROCS(0).
 	Workers int
 }
 

@@ -47,9 +47,10 @@ type Collection struct {
 	Tau int
 	// Order holds tree indices sorted by ascending size (ties by index).
 	Order []int
-	// Workers is the worker-pool width the job runs with (≥ 1). Sources that
-	// can decompose candidate generation cheaply use it as their default
-	// task count.
+	// Workers is the worker-pool width the job runs with (≥ 1, normalized
+	// from Job.Workers: unset or negative counts become GOMAXPROCS).
+	// Sources that can decompose candidate generation cheaply use it as
+	// their default task count.
 	Workers int
 
 	ctx      context.Context
@@ -95,9 +96,7 @@ func (c *Collection) WindowStart(sz int) int {
 }
 
 func newCollection(ctx context.Context, ts []*tree.Tree, split, tau, workers int, cache *Cache) *Collection {
-	if workers < 1 {
-		workers = 1
-	}
+	workers = sim.NormalizeWorkers(workers)
 	if cache == nil {
 		cache = NewCache()
 	}
@@ -295,7 +294,8 @@ type Job struct {
 	// It runs once per join.
 	VerifierFor func(c *Collection) sim.Verifier
 	// Workers sizes the worker pool used for candidate generation and TED
-	// verification; ≤ 1 runs sequentially.
+	// verification; 1 runs sequentially, and values below 1 ("unset") are
+	// normalized to runtime.GOMAXPROCS(0).
 	Workers int
 	// Shards asks the source to decompose the join into at least this many
 	// independent tasks even when that costs extra filtering work (PartSJ's
@@ -390,11 +390,13 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 	for k, f := range job.Filters {
 		if err := outer.Err(); err != nil {
 			stats.CandTime += time.Since(start)
+			stats.CandWall += time.Since(start)
 			return stats, err
 		}
 		preds[k] = f.Prepare(c)
 	}
 	stats.CandTime += time.Since(start)
+	stats.CandWall += time.Since(start)
 
 	verifier := job.Verifier
 	if verifier == nil && job.VerifierFor != nil {
@@ -417,9 +419,10 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 		stats.VerifyTime += time.Since(vstart)
 	}
 	flushAt := 0
-	if job.Workers <= 1 {
+	if c.Workers <= 1 {
 		flushAt = inlineFlushChunk
 	}
+	stats.Source = source.Name()
 	tasks := source.Tasks(c, job.Shards)
 	if job.Shards > 1 && len(tasks) > 1 {
 		// Sources' natural decompositions (the sorted loop's strides, the
@@ -445,28 +448,34 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 		}
 		pipes[i] = px
 	}
-	runTasks(tasks, pipes, job.Workers)
+	tasksStart := time.Now()
+	runTasks(tasks, pipes, c.Workers)
+	tasksWall := time.Since(tasksStart)
 
 	// Merge task-local candidates and statistics. Stage counters merge by
 	// position: every pipeline carries the same chain. Inline verification
 	// ran inside the sources' timed loops, so its elapsed time moves from
 	// the candidate-generation clock to the verification clock (where
-	// VerifyStream already recorded it).
+	// VerifyStream already recorded it) — and is carved out of the stage's
+	// wall clock the same way.
 	stats.Stages = make([]sim.StageStats, len(job.Filters))
 	for k, f := range job.Filters {
 		stats.Stages[k].Name = f.Name()
 	}
 	var cands []sim.Candidate
+	var inline time.Duration
 	for _, px := range pipes {
 		cands = append(cands, px.cands...)
 		px.stats.CandTime -= px.inlineTime
+		inline += px.inlineTime
 		mergeStats(stats, &px.stats)
 		for k := range px.counts {
 			stats.Stages[k].In += px.counts[k].In
 			stats.Stages[k].Pruned += px.counts[k].Pruned
 		}
 	}
-	sim.VerifyStream(ctx, ts, cands, job.Tau, verifier, job.Workers, stats, em.emit)
+	stats.CandWall += tasksWall - inline
+	sim.VerifyStream(ctx, ts, cands, job.Tau, verifier, c.Workers, stats, em.emit)
 	stats.Results = em.n
 	stats.DPAvoided += c.counters.DPAvoided.Load()
 	stats.KeyrootsSkipped += c.counters.KeyrootsSkipped.Load()
@@ -521,7 +530,7 @@ func runTasks(tasks []Task, pipes []*Pipeline, workers int) {
 
 // mergeStats folds one task's counters into the join totals. Times are
 // summed across tasks (CPU effort, as the sharded plan always reported), so
-// parallel speedups show up in wall clock, not in Stats.
+// parallel speedups show up in Stats.CandWall, not here.
 func mergeStats(total, st *sim.Stats) {
 	total.CandTime += st.CandTime
 	total.PartitionTime += st.PartitionTime
@@ -530,5 +539,12 @@ func mergeStats(total, st *sim.Stats) {
 	total.MatchTests += st.MatchTests
 	total.MatchHits += st.MatchHits
 	total.SmallTreeFallback += st.SmallTreeFallback
+	total.IndexBuildTime += st.IndexBuildTime
+	total.PostingsScanned += st.PostingsScanned
+	total.SkippedByCount += st.SkippedByCount
+	if st.Source != "" {
+		// A task reported the source that effectively ran (the token index
+		// stamping its sorted-loop fallback); it overrides the configured one.
+		total.Source = st.Source
+	}
 }
-

@@ -1,0 +1,494 @@
+package engine
+
+import (
+	"slices"
+	"sort"
+	"time"
+
+	"treejoin/internal/tree"
+)
+
+// The token inverted-index candidate source: sub-quadratic candidate
+// generation for every signature method whose filter rests on a bag bound
+// |bag(T1) ⊖ bag(T2)| ≤ C·TED(T1, T2) (Euler q-grams with C = 4q for the
+// STR/EUL/PQG class, label-histogram entries with C = 2 for HIST/SET).
+//
+// The sorted nested loop evaluates the method's lower bound on every pair in
+// the τ size window — Θ(n²) filter calls even when almost nothing survives.
+// This source inverts the work: a pair is materialised only when the index
+// has already proved the two trees share enough tokens for the bound to
+// possibly pass.
+//
+//   - Each tree is tokenised once; the bag (sorted distinct tokens with
+//     multiplicities) is a τ-independent per-tree signature cached in the
+//     run's artifact cache, so warm corpus joins re-tokenise nothing.
+//   - Tokens are globally frequency-ordered (rare first). Of each tree's
+//     bag, only the prefix a ≤ τ match cannot avoid is indexed: TED ≤ τ
+//     forces multiset overlap ≥ max(|A|,|B|) − Cτ, and by the prefix-filter
+//     theorem two such bags must share a token among their first Cτ+1
+//     elements in any fixed total order. Rare-first ordering makes those
+//     prefix postings the shortest ones.
+//   - Probing walks the posting lists of the probe's whole bag in
+//     ascending-size order (insertion order), merged by a heap over the list
+//     frontiers, and counts each partner's tokens shared with the probe. A
+//     partner is handed to the filter chain only when that count reaches
+//     the threshold its bag sizes demand (MergeSkip-style skipping): a
+//     qualifying pair overlaps in ≥ |A| − Cτ elements, of which at most
+//     |B| − p_B fall outside B's indexed prefix, so fewer than
+//     |A| − Cτ − (|B| − p_B) hits prove the bound unreachable and the pair
+//     is dropped without ever running a pair predicate. Probing with the
+//     full bag rather than the probe's own prefix is what gives the
+//     threshold teeth (under symmetric prefixes it provably never exceeds
+//     1); only globally rare tokens have posting lists, so most bag tokens
+//     cost one empty map lookup.
+//   - Trees whose whole bag has at most Cτ elements ("light" trees) can
+//     qualify while sharing no token at all; they are kept in a side list
+//     and paired by direct screening — cheap precisely because such trees
+//     are tiny. A probe with a light bag scans only that list (all its
+//     size-window partners are light too, bags being size-monotone).
+//
+// Every offered pair still runs through the job's filter chain (Screen →
+// Emit), so the emitted candidate set is a subset of the sorted loop's
+// post-filter survivors and the join result is bit-identical; see DESIGN.md,
+// "Index-accelerated candidate generation", for the proofs.
+//
+// On tiny corpora — or thresholds at least the largest tree's size, where
+// the C·τ slack swallows every bag — building the index costs more than the
+// loop it replaces, so Tasks falls back to the sorted loop and stamps the
+// effective source into Stats.Source.
+
+// Tokenizer turns a tree into a token multiset with a proven bag bound:
+// implementations guarantee |bag(T1) ⊖ bag(T2)| ≤ Slack()·TED(T1, T2) (⊖ is
+// the multiset symmetric difference) and that bag size is monotone in tree
+// size — a tree at least as large by Size() yields at least as large a bag.
+// Both properties are load-bearing: the first makes index pruning sound, the
+// second lets the ascending-size probe order assume the probe's bag is the
+// larger one.
+type Tokenizer interface {
+	// Name labels the tokenisation in cache keys and diagnostics; it must
+	// encode every parameter (e.g. "euler-grams/q=3"), so differently
+	// parameterised tokenisations never alias a cache entry.
+	Name() string
+	// Slack returns the constant C of the bag bound.
+	Slack() int
+	// Tokens returns the token multiset of t, in any order.
+	Tokens(t *tree.Tree) []uint64
+}
+
+// funcTokenizer adapts a (name, slack, tokens) triple to the interface.
+type funcTokenizer struct {
+	name   string
+	slack  int
+	tokens func(*tree.Tree) []uint64
+}
+
+func (f funcTokenizer) Name() string                 { return f.name }
+func (f funcTokenizer) Slack() int                   { return f.slack }
+func (f funcTokenizer) Tokens(t *tree.Tree) []uint64 { return f.tokens(t) }
+
+// NewTokenizer builds a Tokenizer from a name, the bag-bound constant C, and
+// the tokenisation function.
+func NewTokenizer(name string, slack int, tokens func(*tree.Tree) []uint64) Tokenizer {
+	return funcTokenizer{name: name, slack: slack, tokens: tokens}
+}
+
+// TokenIndexMinTrees is the auto-fallback cutoff: collections with fewer
+// trees run the sorted loop instead — at this size the loop's Θ(n²) cheap
+// filter calls beat the index's build cost.
+const TokenIndexMinTrees = 48
+
+type tokenIndexSource struct{ tz Tokenizer }
+
+// TokenIndex returns the inverted-index candidate source over tz's tokens.
+func TokenIndex(tz Tokenizer) CandidateSource { return tokenIndexSource{tz: tz} }
+
+func (s tokenIndexSource) Name() string { return "token-index(" + s.tz.Name() + ")" }
+
+func (s tokenIndexSource) Tasks(c *Collection, shards int) []Task {
+	if len(c.Order) == 0 {
+		return nil
+	}
+	// Fall back to the sorted loop when the index cannot pay for itself:
+	// tiny collections, thresholds covering every size window, or a C·τ
+	// slack that swallows even the largest tree's bag (bags are
+	// size-monotone, so the largest tree's bag is the maximum — if it is
+	// light, every tree is, and the index degenerates to the light-list
+	// scan, a worse sorted loop). The largest bag is read through the cache,
+	// so the probe task reuses the tokenisation when the index does run
+	// later at another threshold.
+	largest := c.Trees[c.Order[len(c.Order)-1]]
+	if len(c.Order) < TokenIndexMinTrees || c.Tau >= largest.Size() ||
+		int(s.cachedBag(c, largest).total) <= s.tz.Slack()*c.Tau {
+		// Stamp the effective source so Stats attribution reports what
+		// actually ran.
+		tasks := SortedLoop().Tasks(c, shards)
+		for i, t := range tasks {
+			inner := t
+			tasks[i] = func(px *Pipeline) {
+				px.Stats().Source = SortedLoop().Name()
+				inner(px)
+			}
+		}
+		return tasks
+	}
+	// The probe/insert loop shares one index, so candidate generation is a
+	// single sequential task; the engine still parallelises verification.
+	return []Task{func(px *Pipeline) { s.run(px) }}
+}
+
+// cachedBag returns one tree's token bag through the run's artifact cache.
+func (s tokenIndexSource) cachedBag(c *Collection, t *tree.Tree) *tokenBag {
+	key := tokenBagKey(s.tz)
+	if v, ok := c.Cache().Lookup(key, t); ok {
+		return v.(*tokenBag)
+	}
+	b := buildBag(s.tz, t)
+	c.Cache().Store(key, t, b)
+	return b
+}
+
+// tokenCount is one distinct token of a tree's bag with its multiplicity.
+type tokenCount struct {
+	key   uint64
+	count int32
+}
+
+// tokenBag is the cached per-tree tokenisation: distinct tokens sorted by
+// key, plus the expanded bag size (Σ counts). τ-independent, so a corpus
+// cache retains it across joins at any threshold.
+type tokenBag struct {
+	total int32
+	toks  []tokenCount
+}
+
+// tokenBagKey names the artifact-cache entry of a tokenisation.
+func tokenBagKey(tz Tokenizer) string { return "tokidx/" + tz.Name() }
+
+func buildBag(tz Tokenizer, t *tree.Tree) *tokenBag {
+	raw := tz.Tokens(t)
+	if len(raw) == 0 {
+		return &tokenBag{}
+	}
+	slices.Sort(raw)
+	bag := &tokenBag{total: int32(len(raw)), toks: make([]tokenCount, 0, len(raw))}
+	for lo := 0; lo < len(raw); {
+		hi := lo + 1
+		for hi < len(raw) && raw[hi] == raw[lo] {
+			hi++
+		}
+		bag.toks = append(bag.toks, tokenCount{key: raw[lo], count: int32(hi - lo)})
+		lo = hi
+	}
+	bag.toks = slices.Clip(bag.toks)
+	return bag
+}
+
+// prefTok is one distinct token of a tree's indexed prefix with its
+// multiplicity within the prefix; prefix arrays hold them in ascending
+// global (frequency, key) order.
+type prefTok struct {
+	key   uint64
+	count int32
+}
+
+// scratchTok is prefTok during prefix selection, carrying the token's global
+// frequency so the selection can sort by the global order directly.
+type scratchTok struct {
+	freq  int64
+	key   uint64
+	count int32
+}
+
+// posting records that a tree's prefix contains count occurrences of a
+// token. Lists grow in insertion order — ascending tree size — so a probe
+// binary-searches its size window and walks each list front to back.
+type posting struct {
+	pos   int32 // per-side insertion sequence (the heap's merge key)
+	tree  int32 // combined collection index
+	count int32
+}
+
+// tokenSide is one side's index state: posting lists by token key, the
+// light-tree list, and the insertion counter.
+type tokenSide struct {
+	post  map[uint64][]posting
+	light []int32 // combined indices of inserted light trees, ascending size
+	n     int32   // insertions so far
+}
+
+// frontier is one posting list being merged during a probe.
+type frontier struct {
+	list []posting
+	i    int
+	ca   int32 // the probe BAG's multiplicity of this token (probes walk
+	// their full bag, not their prefix — the asymmetry the count
+	// threshold's strength rests on; see run)
+}
+
+func (s tokenIndexSource) run(px *Pipeline) {
+	c := px.Collection()
+	stats := px.Stats()
+	start := time.Now()
+
+	ctau := s.tz.Slack() * c.Tau
+	budget := int32(ctau + 1) // expanded prefix length Cτ+1
+
+	// Build phase: cached bags, global frequency ranks, per-tree prefixes.
+	tz := s.tz
+	bags := Cached(c.Cache(), tokenBagKey(tz), c.Trees, func(t *tree.Tree) *tokenBag {
+		return buildBag(tz, t)
+	})
+	freq := make(map[uint64]int64, 1<<10)
+	for _, b := range bags {
+		for _, tc := range b.toks {
+			freq[tc.key] += int64(tc.count)
+		}
+	}
+
+	// Per-tree prefixes in the global order "rare tokens first, ties by
+	// key": rare tokens have the short posting lists, so prefixes drawn from
+	// the front of this order keep probe work minimal. Any fixed total order
+	// is sound; frequency ordering is the classic heuristic.
+	prefixes := make([][]prefTok, len(c.Trees))
+	plen := make([]int32, len(c.Trees)) // expanded prefix length p_i = min(Cτ+1, total_i)
+	var scratch []scratchTok
+	for _, ti := range c.Order {
+		b := bags[ti]
+		scratch = scratch[:0]
+		for _, tc := range b.toks {
+			scratch = append(scratch, scratchTok{freq: freq[tc.key], key: tc.key, count: tc.count})
+		}
+		// The prefix spends at most budget expanded elements, so at most
+		// budget distinct tokens matter: quickselect them to the front, then
+		// sort only that head instead of the whole bag.
+		head := scratch
+		if int(budget) < len(scratch) {
+			selectSmallest(scratch, int(budget))
+			head = scratch[:budget]
+		}
+		slices.SortFunc(head, func(a, b scratchTok) int {
+			if tokLess(a, b) {
+				return -1
+			}
+			if tokLess(b, a) {
+				return 1
+			}
+			return 0
+		})
+		var taken int32
+		pref := make([]prefTok, 0, min32(budget, int32(len(head))))
+		for _, pt := range head {
+			if taken >= budget {
+				break
+			}
+			cnt := pt.count
+			if room := budget - taken; cnt > room {
+				cnt = room
+			}
+			pref = append(pref, prefTok{key: pt.key, count: cnt})
+			taken += cnt
+		}
+		prefixes[ti] = pref
+		plen[ti] = taken
+	}
+	stats.IndexBuildTime += time.Since(start)
+
+	// Probe/insert loop over the ascending-size order; cross joins keep one
+	// index per side and probe the opposite one, exactly like the sorted
+	// loop's pair enumeration (every unordered pair offered at most once, at
+	// its larger tree's position).
+	nSides := 1
+	if c.Cross() {
+		nSides = 2
+	}
+	sides := make([]*tokenSide, nSides)
+	for i := range sides {
+		sides[i] = &tokenSide{post: make(map[uint64][]posting, 1<<10)}
+	}
+	var fr []frontier
+	for _, ti := range c.Order {
+		if px.Cancelled() {
+			break
+		}
+		side := 0
+		if c.Cross() && ti >= c.Split {
+			side = 1
+		}
+		probe := sides[(nSides-1)-side*(nSides-1)]
+		ins := sides[side]
+
+		sz := c.Trees[ti].Size()
+		minSz := sz - c.Tau
+		la := bags[ti].total
+		if la <= int32(ctau) {
+			// Light probe: a qualifying partner may share nothing, but every
+			// size-window partner inserted so far is light too (bags are
+			// size-monotone), so the side list is exhaustive.
+			light := probe.light
+			lo := sort.Search(len(light), func(k int) bool {
+				return c.Trees[light[k]].Size() >= minSz
+			})
+			for _, tj := range light[lo:] {
+				px.Offer(ti, int(tj))
+			}
+		} else {
+			// Indexed probe: heap-merge the posting lists of the probe's
+			// whole bag in ascending-size order, counting each partner's
+			// shared tokens. The probe walks its full bag — not just its own
+			// prefix — because only the asymmetric form gives the count
+			// threshold teeth: a qualifying pair overlaps in ≥ |A| − Cτ
+			// elements, of which at most |B| − p_B fall outside B's indexed
+			// prefix, so B must collect |A| − Cτ − (|B| − p_B) hits from A's
+			// lists. Only globally rare tokens have posting lists at all, so
+			// most of the bag's lookups miss for free.
+			fr = fr[:0]
+			for _, tc := range bags[ti].toks {
+				list := probe.post[tc.key]
+				if len(list) == 0 {
+					continue
+				}
+				lo := sort.Search(len(list), func(k int) bool {
+					return c.Trees[list[k].tree].Size() >= minSz
+				})
+				if lo < len(list) {
+					fr = append(fr, frontier{list: list, i: lo, ca: tc.count})
+				}
+			}
+			heapify(fr)
+			for len(fr) > 0 {
+				pos := fr[0].list[fr[0].i].pos
+				tj := fr[0].list[fr[0].i].tree
+				var shared int32
+				for len(fr) > 0 && fr[0].list[fr[0].i].pos == pos {
+					e := fr[0].list[fr[0].i]
+					shared += min32(fr[0].ca, e.count)
+					stats.PostingsScanned++
+					fr[0].i++
+					if fr[0].i == len(fr[0].list) {
+						fr[0] = fr[len(fr)-1]
+						fr = fr[:len(fr)-1]
+					}
+					if len(fr) > 0 {
+						siftDown(fr)
+					}
+				}
+				// Count threshold: a ≤ τ pair's overlap is at least
+				// |A| − Cτ, and at most |B| − p_B of it can fall outside B's
+				// indexed prefix, so fewer than |A| − Cτ − (|B| − p_B) hits
+				// prove the bag bound unreachable. For same-bag-size partners
+				// this is the theorem's ≥ 1; it climbs with the bag-size gap,
+				// so partners at the small end of the size window need the
+				// most shared tokens.
+				t := la - int32(ctau) - (bags[tj].total - plen[tj])
+				if t < 1 {
+					t = 1
+				}
+				if shared >= t {
+					px.Offer(ti, int(tj))
+				} else {
+					stats.SkippedByCount++
+				}
+			}
+		}
+
+		// Insert: every tree's prefix is indexed (light probes may still be
+		// found through it by later, heavier probes); light trees join the
+		// side list as well.
+		for _, pt := range prefixes[ti] {
+			ins.post[pt.key] = append(ins.post[pt.key], posting{pos: ins.n, tree: int32(ti), count: pt.count})
+		}
+		if la <= int32(ctau) {
+			ins.light = append(ins.light, int32(ti))
+		}
+		ins.n++
+	}
+	stats.CandTime += time.Since(start)
+}
+
+// tokLess is the global total order on tokens: ascending frequency, ties by
+// key.
+func tokLess(a, b scratchTok) bool {
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.key < b.key
+}
+
+// selectSmallest partitions s so that its k smallest entries under the
+// global order occupy s[:k], in no particular order (median-of-three
+// quickselect; k < len(s)).
+func selectSmallest(s []scratchTok, k int) {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot guards against sorted inputs.
+		mid := lo + (hi-lo)/2
+		if tokLess(s[mid], s[lo]) {
+			s[lo], s[mid] = s[mid], s[lo]
+		}
+		if tokLess(s[hi], s[lo]) {
+			s[lo], s[hi] = s[hi], s[lo]
+		}
+		if tokLess(s[hi], s[mid]) {
+			s[mid], s[hi] = s[hi], s[mid]
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for tokLess(s[i], pivot) {
+				i++
+			}
+			for tokLess(pivot, s[j]) {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k > i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// heapify establishes the min-heap order on the frontiers (keyed by the
+// current entry's pos).
+func heapify(fr []frontier) {
+	for i := len(fr)/2 - 1; i >= 0; i-- {
+		sift(fr, i)
+	}
+}
+
+// siftDown restores the heap after the root's frontier advanced.
+func siftDown(fr []frontier) { sift(fr, 0) }
+
+func sift(fr []frontier, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(fr) && fr[l].list[fr[l].i].pos < fr[m].list[fr[m].i].pos {
+			m = l
+		}
+		if r < len(fr) && fr[r].list[fr[r].i].pos < fr[m].list[fr[m].i].pos {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		fr[i], fr[m] = fr[m], fr[i]
+		i = m
+	}
+}

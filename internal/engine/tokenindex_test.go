@@ -1,0 +1,165 @@
+package engine_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"treejoin/internal/baseline"
+	"treejoin/internal/engine"
+	"treejoin/internal/pqgram"
+	"treejoin/internal/sim"
+	"treejoin/internal/synth"
+	"treejoin/internal/tree"
+)
+
+// tokenizers under test: the two real implementations the methods wire in.
+func testTokenizers() []engine.Tokenizer {
+	return []engine.Tokenizer{baseline.LabelTokenizer(), pqgram.Tokenizer(0)}
+}
+
+// mixedCorpus is a synthetic collection large enough to engage the index,
+// with a handful of tiny trees appended so the light-tree path runs too.
+func mixedCorpus(n int, seed int64) []*tree.Tree {
+	ts := synth.Synthetic(n, seed)
+	lt := ts[0].Labels
+	for _, s := range []string{"{a}", "{b}", "{a{b}}", "{a{b}{c}}", "{x{y{z}}}"} {
+		ts = append(ts, tree.MustParseBracket(s, lt))
+	}
+	return ts
+}
+
+// TestTokenIndexOracle: the token-index source produces exactly the sorted
+// loop's result set — self and cross joins, every tokenizer, thresholds from
+// exact matching through bag-saturating — and never more post-filter
+// candidates.
+func TestTokenIndexOracle(t *testing.T) {
+	ts := mixedCorpus(60, 11)
+	filter := baseline.HISTFilter()
+	for _, tz := range testTokenizers() {
+		for _, tau := range []int{0, 1, 2, 4, 8} {
+			loopJob := engine.Job{Tau: tau, Filters: []engine.PairFilter{filter}}
+			idxJob := engine.Job{Tau: tau, Filters: []engine.PairFilter{filter}, Source: engine.TokenIndex(tz)}
+			want, wst := loopJob.SelfJoin(ts)
+			got, gst := idxJob.SelfJoin(ts)
+			label := fmt.Sprintf("self %s τ=%d", tz.Name(), tau)
+			equalPairs(t, label, got, want)
+			if gst.Candidates > wst.Candidates {
+				t.Fatalf("%s: index fed %d candidates, loop %d", label, gst.Candidates, wst.Candidates)
+			}
+			a, b := ts[:25], ts[25:]
+			want, wst = loopJob.Join(a, b)
+			got, gst = idxJob.Join(a, b)
+			label = fmt.Sprintf("cross %s τ=%d", tz.Name(), tau)
+			equalPairs(t, label, got, want)
+			if gst.Candidates > wst.Candidates {
+				t.Fatalf("%s: index fed %d candidates, loop %d", label, gst.Candidates, wst.Candidates)
+			}
+		}
+	}
+}
+
+// TestTokenIndexFallback: tiny collections and bag-swallowing thresholds
+// must run the sorted loop, and Stats.Source must say so; a regular workload
+// must report the token index.
+func TestTokenIndexFallback(t *testing.T) {
+	tz := baseline.LabelTokenizer()
+	small := synth.Synthetic(engine.TokenIndexMinTrees-1, 3)
+	_, st := (engine.Job{Tau: 1, Source: engine.TokenIndex(tz)}).SelfJoin(small)
+	if st.Source != "sorted-loop" {
+		t.Fatalf("small corpus source = %q, want sorted-loop", st.Source)
+	}
+
+	big := synth.Synthetic(80, 3)
+	maxSize := 0
+	for _, tr := range big {
+		if tr.Size() > maxSize {
+			maxSize = tr.Size()
+		}
+	}
+	_, st = (engine.Job{Tau: maxSize, Source: engine.TokenIndex(tz)}).SelfJoin(big)
+	if st.Source != "sorted-loop" {
+		t.Fatalf("τ=maxSize source = %q, want sorted-loop", st.Source)
+	}
+
+	_, st = (engine.Job{Tau: 1, Source: engine.TokenIndex(tz)}).SelfJoin(big)
+	if !strings.HasPrefix(st.Source, "token-index(") {
+		t.Fatalf("regular corpus source = %q, want token-index(...)", st.Source)
+	}
+	if st.IndexBuildTime <= 0 {
+		t.Fatal("token-index run recorded no IndexBuildTime")
+	}
+}
+
+// TestWorkersNormalized: worker counts below 1 become GOMAXPROCS everywhere
+// tasks are dealt — the collection view a source sees — and explicit counts
+// pass through.
+func TestWorkersNormalized(t *testing.T) {
+	ts := synth.Synthetic(10, 5)
+	for _, tc := range []struct{ in, want int }{
+		{0, runtime.GOMAXPROCS(0)},
+		{-3, runtime.GOMAXPROCS(0)},
+		{1, 1},
+		{4, 4},
+	} {
+		var seen int
+		src := captureSource{onTasks: func(c *engine.Collection) { seen = c.Workers }}
+		(engine.Job{Tau: 1, Workers: tc.in, Source: src}).SelfJoin(ts)
+		if seen != tc.want {
+			t.Fatalf("Workers=%d: collection saw %d workers, want %d", tc.in, seen, tc.want)
+		}
+	}
+	if got := sim.NormalizeWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NormalizeWorkers(0) = %d", got)
+	}
+	if got := sim.NormalizeWorkers(7); got != 7 {
+		t.Fatalf("NormalizeWorkers(7) = %d", got)
+	}
+}
+
+// captureSource records the collection it was asked to decompose and offers
+// nothing.
+type captureSource struct{ onTasks func(c *engine.Collection) }
+
+func (s captureSource) Name() string { return "capture" }
+func (s captureSource) Tasks(c *engine.Collection, shards int) []engine.Task {
+	s.onTasks(c)
+	return nil
+}
+
+// TestTokenIndexRace: the probe/insert machinery under concurrent joins
+// sharing one artifact cache — racing bag builds, racing light scans, self
+// and cross probes at once. Run with -race.
+func TestTokenIndexRace(t *testing.T) {
+	ts := mixedCorpus(60, 17)
+	cache := engine.NewCache()
+	want, _ := (engine.Job{Tau: 2, Filters: []engine.PairFilter{baseline.HISTFilter()}}).SelfJoin(ts)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tz := testTokenizers()[g%2]
+			job := engine.Job{
+				Tau:     2,
+				Filters: []engine.PairFilter{baseline.HISTFilter()},
+				Source:  engine.TokenIndex(tz),
+				Cache:   cache,
+				Workers: 2,
+			}
+			if g%3 == 0 {
+				a, b := ts[:30], ts[30:]
+				job.Join(a, b)
+				return
+			}
+			got, _ := job.SelfJoin(ts)
+			if len(got) != len(want) {
+				t.Errorf("goroutine %d: %d pairs, want %d", g, len(got), len(want))
+			}
+		}()
+	}
+	wg.Wait()
+}

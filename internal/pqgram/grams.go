@@ -53,21 +53,28 @@ func NewGrams(t *tree.Tree, q int) *GramProfile {
 	if q < 1 {
 		panic(fmt.Sprintf("pqgram: invalid gram width q=%d", q))
 	}
+	g := &GramProfile{Q: q, Hashes: gramHashes(t, q)}
+	sort.Slice(g.Hashes, func(i, j int) bool { return g.Hashes[i] < g.Hashes[j] })
+	return g
+}
+
+// gramHashes returns the fingerprints of t's Euler-tour q-gram windows, in
+// tour order: the shared tokenisation behind both the sorted GramProfile and
+// the engine's token index.
+func gramHashes(t *tree.Tree, q int) []uint64 {
 	euler := tree.EulerString(t)
-	g := &GramProfile{Q: q}
 	if len(euler) < q {
-		return g
+		return nil
 	}
-	g.Hashes = make([]uint64, 0, len(euler)-q+1)
-	for w := 0; w+q <= len(euler); w++ {
+	out := make([]uint64, len(euler)-q+1)
+	for w := range out {
 		h := offset64
 		for _, v := range euler[w : w+q] {
 			h = fnvMix(h, v)
 		}
-		g.Hashes = append(g.Hashes, h)
+		out[w] = h
 	}
-	sort.Slice(g.Hashes, func(i, j int) bool { return g.Hashes[i] < g.Hashes[j] })
-	return g
+	return out
 }
 
 // FNV-1a over the 4 little-endian bytes of each symbol, inlined to keep the
@@ -111,6 +118,25 @@ func GramBagDistance(a, b *GramProfile) int {
 // GramLowerBound returns the Euler-gram TED lower bound ⌈bag/(4q)⌉.
 func GramLowerBound(a, b *GramProfile) int {
 	return (GramBagDistance(a, b) + 4*a.Q - 1) / (4 * a.Q)
+}
+
+// Tokenizer returns the Euler-tour q-gram tokenisation as an
+// engine.Tokenizer for the token inverted-index candidate source: the token
+// multiset is the same gram fingerprint bag NewGrams profiles, and the bag
+// bound is the same |G_q(T1) △ G_q(T2)| ≤ 4q·TED(T1, T2) the filter rests
+// on, so Slack() = 4q. q ≤ 0 selects DefaultQ. A fingerprint collision
+// merges two gram bins, which can only increase measured overlaps — pairs
+// are kept, not lost, so index pruning stays sound. Bag size is 2·|T| − q + 1
+// (clamped at 0), monotone in tree size as the source requires. Unlike
+// NewGrams the tokens come back unsorted (in tour order): the index
+// normalises bags with its own sort, so sorting here would be done twice.
+func Tokenizer(q int) engine.Tokenizer {
+	if q <= 0 {
+		q = DefaultQ
+	}
+	return engine.NewTokenizer(fmt.Sprintf("euler-grams/q=%d", q), 4*q, func(t *tree.Tree) []uint64 {
+		return gramHashes(t, q)
+	})
 }
 
 // Filter returns the Euler-gram lower bound as an engine pipeline stage:

@@ -5,6 +5,7 @@ package sim
 
 import (
 	"context"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -51,8 +52,21 @@ type Stats struct {
 	Trees      int           // collection size
 	Candidates int64         // pairs that reached the TED verifier
 	Results    int64         // pairs with TED ≤ τ
-	CandTime   time.Duration // candidate generation (filtering) time
+	CandTime   time.Duration // candidate generation (filtering) time, summed across tasks (CPU effort)
 	VerifyTime time.Duration // exact TED computation time
+
+	// CandWall is the wall-clock time of the candidate-generation stage:
+	// filter preparation plus the elapsed time of the source's task pool,
+	// with inline verification carved out. CandTime sums each task's own
+	// clock, so on a multi-core run it measures CPU effort and can exceed
+	// the wall clock; CandWall is what the user waited.
+	CandWall time.Duration
+
+	// Source names the candidate source that actually ran ("sorted-loop",
+	// "token-index", "partsj"). When a source falls back — the token index
+	// reverts to the sorted loop on tiny corpora or oversized thresholds —
+	// the effective source is reported, not the configured one.
+	Source string
 
 	// Stages holds per-filter attribution when the join ran a filter
 	// pipeline: one entry per stage, in the order the stages ran.
@@ -66,6 +80,14 @@ type Stats struct {
 	MatchHits         int64         // match tests that succeeded
 	SmallTreeFallback int64         // candidate pairs produced by the small-tree path
 
+	// Token-index source counters (zero unless the join's candidates came
+	// from engine.TokenIndexSource). IndexBuildTime is a breakdown of
+	// CandTime (tokenisation, frequency ranking, prefix construction), not
+	// an addition to Total.
+	IndexBuildTime  time.Duration // building the frequency-ordered prefix index
+	PostingsScanned int64         // posting-list entries inspected while probing
+	SkippedByCount  int64         // partners discarded because their shared-token count proved the bound unreachable
+
 	// τ-banded verifier counters, recorded by the default threshold-aware
 	// TED verifier (zero when a custom Verifier decided the candidates; see
 	// internal/ted and DESIGN.md, "Threshold-aware verification").
@@ -77,6 +99,18 @@ type Stats struct {
 // Total returns the end-to-end join time.
 func (s *Stats) Total() time.Duration {
 	return s.CandTime + s.VerifyTime + s.PartitionTime
+}
+
+// NormalizeWorkers resolves a caller-supplied worker count: values below 1
+// ("unset") become runtime.GOMAXPROCS(0) — use every core the runtime will
+// schedule on — and explicit counts pass through. Every component that deals
+// tasks to a pool (the engine's collection, the incremental stream's
+// verification) normalizes through this one function.
+func NormalizeWorkers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // Verifier decides whether a candidate pair is a result: it reports the

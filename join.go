@@ -125,6 +125,7 @@ type config struct {
 	randPart   bool
 	hybrid     bool
 	unbanded   bool
+	sortedLoop bool
 	seed       int64
 	prefilters []Prefilter
 	statsDst   *Stats
@@ -137,11 +138,17 @@ type Option func(*config)
 // WithMethod selects the join algorithm (default MethodPartSJ).
 func WithMethod(m Method) Option { return func(c *config) { c.method = m } }
 
-// WithWorkers runs the join on n parallel goroutines (default 1,
-// sequential): TED verification for every method, plus candidate generation
-// for the nested-loop methods (whose probe loop shards freely) and PartSJ's
-// partitioning pre-pass. PartSJ's index probing itself parallelises only
-// under WithShards.
+// WithWorkers runs the join on n parallel goroutines: TED verification for
+// every method, plus candidate generation wherever the source decomposes —
+// the sorted nested loop (WithSortedLoop, MethodBruteForce) shards its probe
+// loop freely, and PartSJ parallelises its partitioning pre-pass (its index
+// probing parallelises only under WithShards). The signature methods'
+// default token-index source generates candidates in one sequential task
+// (the inverted index is shared state); their parallelism is in the
+// verification stage. Unset (or any n < 1) uses one worker per available
+// core — runtime.GOMAXPROCS(0); pass 1 explicitly for a sequential run.
+// Stats.CandTime sums the tasks' own clocks (CPU effort); Stats.CandWall
+// reports the stage's wall time.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithShards decomposes a PartSJ self-join into n intra-shard joins plus the
@@ -207,6 +214,19 @@ func WithHybridVerification() Option {
 func WithUnbandedVerification() Option {
 	return func(c *config) { c.unbanded = true }
 }
+
+// WithSortedLoop forces candidate generation back to the O(n²) sorted
+// nested loop for the signature methods (STR, SET, HIST, EUL, PQG), which by
+// default generate candidates through the token inverted-index source —
+// frequency-ordered prefix postings probed with count-threshold skipping, so
+// only pairs whose shared-token count could satisfy the method's lower bound
+// are ever screened (see DESIGN.md, "Index-accelerated candidate
+// generation"). Results are identical either way; this is the ablation
+// escape hatch, and the regime where the loop genuinely wins (tiny corpora,
+// thresholds at the largest tree's size) already falls back automatically —
+// Stats.Source reports which source ran. No effect on MethodPartSJ and
+// MethodBruteForce, which never use the token index.
+func WithSortedLoop() Option { return func(c *config) { c.sortedLoop = true } }
 
 // WithStats asks the call to write its execution statistics into dst when it
 // finishes. The slice-returning Corpus calls return Stats directly; this
@@ -278,24 +298,40 @@ func (c config) jobChecked(tau int) (engine.Job, error) {
 	for _, p := range c.prefilters {
 		filters = append(filters, p.stage())
 	}
+	// Signature methods default to the token inverted-index source over the
+	// token bag their bound (or a sound sibling of it) is stated on: Euler
+	// q-grams for the string/gram class, label-histogram entries for the
+	// histogram/branch class. The source offers a subset of the sorted
+	// loop's pairs and every offered pair still runs the same filter chain,
+	// so results are identical; WithSortedLoop restores the loop for
+	// ablation.
+	var src engine.CandidateSource
 	switch c.method {
 	case MethodPartSJ:
 		return c.applyVerifier(c.coreOptions(tau).Job(c.shards, filters)), nil
 	case MethodSTR:
 		filters = append(filters, baseline.STRFilter())
+		src = engine.TokenIndex(pqgram.Tokenizer(0))
 	case MethodSET:
 		filters = append(filters, baseline.SETFilter())
+		src = engine.TokenIndex(baseline.LabelTokenizer())
 	case MethodHistogram:
 		filters = append(filters, baseline.HISTFilter())
+		src = engine.TokenIndex(baseline.LabelTokenizer())
 	case MethodEulerString:
 		filters = append(filters, baseline.EULFilter())
+		src = engine.TokenIndex(pqgram.Tokenizer(0))
 	case MethodPQGram:
 		filters = append(filters, pqgram.Filter(0))
+		src = engine.TokenIndex(pqgram.Tokenizer(0))
 	case MethodBruteForce:
-		// Size window only.
+		// Size window only — no lower bound to index on; always the loop.
+	}
+	if c.sortedLoop {
+		src = nil // engine default: SortedLoop
 	}
 	return c.applyVerifier(engine.Job{
-		Source:  engine.SortedLoop(),
+		Source:  src,
 		Filters: filters,
 		Tau:     tau,
 		Workers: c.workers,
