@@ -8,6 +8,7 @@
 //	         [-format bracket|newick|binary] [-stats] [-quiet]
 //	treejoin -input a.txt -other b.txt -tau 2
 //	treejoin -input trees.txt -topk 10
+//	treejoin -watch -tau 2 [-input seed.txt] < mutations.txt
 //
 // The dataset holds one tree per line (bracket or Newick notation) or is a
 // binary dataset written by datagen -format binary; -format auto-detects
@@ -20,10 +21,25 @@
 // threshold is ignored and the K closest pairs are printed instead. With
 // -stats, a summary of where the join spent its time follows on stderr.
 //
+// With -watch the command becomes a standing join over a mutating stream:
+// it reads one mutation per stdin line — a bracket-notation tree to add, or
+// "-N" to remove the tree with id N — and emits the join's delta after each
+// one. Ids are assigned in add order starting at 0 (-input, when given,
+// seeds the stream first). Each delta line is "+<TAB>i<TAB>j<TAB>dist" for
+// a pair entering the result (tree j is the newly added tree) or
+// "-<TAB>i<TAB>j<TAB>dist" for a standing pair retracted by a removal;
+// applying the + and − lines in order reproduces the self-join of the live
+// trees at every point. Malformed lines (unparseable trees, bad or unknown
+// removal ids) are reported on stderr and skipped — a long-running watch
+// never loses its standing result to one bad input line, and skipped lines
+// consume no id. Watch mode runs the incremental PartSJ stream, so -method
+// PRT only, and -other/-topk/-shards/-prefilter do not combine with it.
+//
 // Joins are cancellable: -timeout bounds the run, and an interrupt (Ctrl-C)
 // stops it early. Either way the pairs found so far are printed and the
 // exit status is 1; threshold joins also print their partial per-stage
 // statistics to stderr (-topk aggregates rounds and has none to report).
+// An interrupted or timed-out watch stops emitting deltas the same way.
 package main
 
 import (
@@ -34,7 +50,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"time"
 
 	"treejoin"
 	"treejoin/internal/cli"
@@ -54,8 +72,13 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the join after this duration (0: no limit)")
 		stats     = flag.Bool("stats", false, "print execution statistics to stderr")
 		quiet     = flag.Bool("quiet", false, "suppress pair output (useful with -stats)")
+		watch     = flag.Bool("watch", false, "read mutations (bracket tree to add, -N to remove id N) from stdin and emit join deltas")
 	)
 	flag.Parse()
+	if *watch {
+		runWatch(*input, *format, *tau, *topk, *other, *method, *prefilter, *shards, *workers, *timeout, *stats, *quiet)
+		return
+	}
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "treejoin: -input is required")
 		flag.Usage()
@@ -220,8 +243,156 @@ func printStats(m treejoin.Method, tau int, st treejoin.Stats) {
 			st.IndexedSubgraphs, st.SubgraphProbes, st.MatchTests, st.MatchHits)
 	}
 	if st.PostingsScanned > 0 || st.IndexBuildTime > 0 {
-		fmt.Fprintf(os.Stderr, "tokenindex:  built in %v, %d postings scanned, %d partners skipped by count\n",
-			st.IndexBuildTime, st.PostingsScanned, st.SkippedByCount)
+		fmt.Fprintf(os.Stderr, "tokenindex:  built in %v, %d postings scanned, %d partners skipped by count, %d tombstones crossed\n",
+			st.IndexBuildTime, st.PostingsScanned, st.SkippedByCount, st.PostingsTombstoned)
+	}
+}
+
+// runWatch drives -watch: a standing incremental self join fed one mutation
+// per stdin line, emitting the result delta after each. Adds print
+// "+\ti\tj\tdist" for every pair entering the result; removals print
+// "-\ti\tj\tdist" for every standing pair they retract. Output is flushed
+// per mutation, so a pipe consumer sees each delta as it happens.
+func runWatch(input, format string, tau, topk int, other, method, prefilter string, shards, workers int, timeout time.Duration, stats, quiet bool) {
+	if tau < 0 {
+		fail("threshold must be non-negative, got %d", tau)
+	}
+	switch {
+	case topk > 0:
+		fail("-watch does not combine with -topk")
+	case other != "":
+		fail("-watch does not combine with -other")
+	case prefilter != "":
+		fail("-watch does not combine with -prefilter")
+	case shards > 1:
+		fail("-watch does not combine with -shards")
+	case method != "PRT":
+		fail("-watch supports -method PRT only (the incremental stream is PartSJ)")
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	inc := treejoin.NewIncremental(tau, treejoin.WithWorkers(workers))
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	emit := func(sign byte, pairs []treejoin.Pair) {
+		if quiet {
+			return
+		}
+		for _, p := range pairs {
+			fmt.Fprintf(out, "%c\t%d\t%d\t%d\n", sign, p.I, p.J, p.Dist)
+		}
+	}
+
+	lt := treejoin.NewLabelTable()
+	if input != "" {
+		ts, seedLT, err := cli.Load(input, format, lt)
+		if err != nil {
+			fail("%v", err)
+		}
+		lt = seedLT // binary datasets carry their own table; stdin interns into it
+		for _, t := range ts {
+			emit('+', inc.Add(t))
+		}
+		out.Flush()
+	}
+
+	// Stdin is scanned on its own goroutine so the mutation loop can honor
+	// -timeout and the first interrupt even while blocked between lines (a
+	// pipe that goes idle would otherwise pin the process in read(2) past
+	// the deadline). After cancellation the scanner goroutine may stay
+	// parked in Scan; process exit reaps it.
+	lines := make(chan string)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<26)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
+			}
+		}
+		scanErr <- sc.Err()
+	}()
+	interrupted := false
+loop:
+	for {
+		var raw string
+		var ok bool
+		select {
+		case <-ctx.Done():
+			interrupted = true
+			break loop
+		case raw, ok = <-lines:
+			if !ok {
+				break loop
+			}
+		}
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Bad lines warn and continue: a watch is a long-running daemon
+		// holding a standing result, and one producer typo must not
+		// discard it (the unknown-id case below sets the precedent).
+		if strings.HasPrefix(line, "-") {
+			id, err := strconv.Atoi(strings.TrimSpace(line[1:]))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "treejoin: watch: bad removal %q (want -N)\n", line)
+				continue
+			}
+			if inc.Remove(id) {
+				emit('-', inc.Retracted())
+			} else {
+				fmt.Fprintf(os.Stderr, "treejoin: watch: no live tree with id %d\n", id)
+			}
+		} else {
+			t, err := treejoin.ParseBracket(line, lt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "treejoin: watch: skipping line: %v\n", err)
+				continue
+			}
+			emit('+', inc.Add(t))
+		}
+		out.Flush()
+	}
+	// Cancellation may surface as the closed lines channel rather than the
+	// ctx case (the select picks arbitrarily when both are ready), so the
+	// interrupted outcome is decided by the context itself.
+	if ctx.Err() != nil {
+		interrupted = true
+	}
+	select {
+	case err := <-scanErr:
+		if err != nil {
+			fail("watch: reading stdin: %v", err)
+		}
+	default:
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "treejoin: %v — deltas are partial\n", ctx.Err())
+	}
+	if stats || interrupted {
+		st := inc.Stats()
+		fmt.Fprintf(os.Stderr, "trees:       %d added, %d live\n", inc.Len(), inc.Live())
+		fmt.Fprintf(os.Stderr, "standing:    %d pairs (%d retracted over the run)\n", st.Results-st.PairsRetracted, st.PairsRetracted)
+		fmt.Fprintf(os.Stderr, "candidates:  %d\n", st.Candidates)
+		fmt.Fprintf(os.Stderr, "candgen:     %v cpu\n", st.CandTime+st.PartitionTime)
+		fmt.Fprintf(os.Stderr, "verify:      %v\n", st.VerifyTime)
+	}
+	if interrupted {
+		out.Flush()
+		os.Exit(1)
 	}
 }
 

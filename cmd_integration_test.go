@@ -4,6 +4,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -51,6 +52,91 @@ func runTool(t *testing.T, name string, args ...string) (string, string, error) 
 	cmd.Stderr = &errb
 	err := cmd.Run()
 	return out.String(), errb.String(), err
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		t.Fatalf("bad int %q: %v", s, err)
+	}
+	return n
+}
+
+// runToolStdin is runTool with the given stdin (for -watch pipelines).
+func runToolStdin(t *testing.T, stdin, name string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), name), args...)
+	cmd.Stdin = strings.NewReader(stdin)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	return out.String(), errb.String(), err
+}
+
+// TestCLIWatch: the -watch mode's delta stream matches the library's
+// incremental join replaying the same mutation script — adds emit the new
+// pairs, removals emit the retractions, comments and unknown ids are
+// tolerated.
+func TestCLIWatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	script := []string{
+		"{a{b}{c}}",
+		"{a{b}{d}}",
+		"# a comment, then a blank line",
+		"",
+		"{a{b}{c}{d}}",
+		"-0",
+		"-99", // unknown id: warned on stderr, no delta
+		"{z}",
+		"{a{b}{d}}",
+	}
+	stdout, stderr, err := runToolStdin(t, strings.Join(script, "\n")+"\n", "treejoin", "-watch", "-tau", "1", "-stats")
+	if err != nil {
+		t.Fatalf("treejoin -watch: %v\nstderr: %s", err, stderr)
+	}
+
+	// Library mirror of the same script.
+	lt := treejoin.NewLabelTable()
+	inc := treejoin.NewIncremental(1)
+	var want []string
+	emit := func(sign byte, ps []treejoin.Pair) {
+		for _, p := range ps {
+			want = append(want, string(sign)+"\t"+itoa(p.I)+"\t"+itoa(p.J)+"\t"+itoa(p.Dist))
+		}
+	}
+	for _, line := range script {
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "-"):
+			if inc.Remove(atoi(t, line[1:])) {
+				emit('-', inc.Retracted())
+			}
+		default:
+			emit('+', inc.Add(treejoin.MustParseBracket(line, lt)))
+		}
+	}
+	got := nonEmptyLines(stdout)
+	if len(got) != len(want) {
+		t.Fatalf("watch emitted %d deltas, want %d:\n%s\nwant:\n%s",
+			len(got), len(want), stdout, strings.Join(want, "\n"))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("delta %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if !strings.Contains(stderr, "no live tree with id 99") {
+		t.Fatalf("unknown-id removal not reported: %s", stderr)
+	}
+	if !strings.Contains(stderr, "standing:") {
+		t.Fatalf("-stats summary missing: %s", stderr)
+	}
 }
 
 // TestCLIPipeline: datagen → treejoin agrees with the library on the same

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"maps"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"treejoin/internal/core"
 	"treejoin/internal/engine"
@@ -35,6 +38,9 @@ var (
 	// honor (e.g. WithMethod(MethodSTR) on a Search, which always runs on
 	// the PartSJ index).
 	ErrOptionConflict = errors.New("treejoin: conflicting options")
+	// ErrImmutableSnapshot reports Add or Remove on a corpus view obtained
+	// from Snapshot, which is frozen at its epoch by design.
+	ErrImmutableSnapshot = errors.New("treejoin: corpus snapshot is immutable")
 )
 
 // CacheStats reports the effectiveness of a corpus's signature cache: Hits
@@ -43,10 +49,38 @@ var (
 // Misses frozen — zero per-tree signature recomputation.
 type CacheStats = engine.CacheStats
 
-// Corpus is the primary entry point for joining and querying a fixed
-// collection of trees: construct it once, query it many times. All trees
-// must share one LabelTable (validated — NewCorpus returns an error instead
-// of producing silently wrong joins).
+// corpusState is one immutable epoch of a corpus: the live trees in
+// insertion order, their stable public ids, and every structure derived
+// from the membership (the ownership set for cross-join cache routing, the
+// persistent token-index snapshots). Mutations build a new state and swap
+// the pointer — copy-on-write — so a query that loaded a state keeps a
+// perfectly consistent view for its whole run while writers proceed.
+type corpusState struct {
+	epoch  int64
+	ts     []*Tree
+	ids    []int       // public id of the tree at each position
+	pos    map[int]int // id -> current position
+	nextID int
+	lt     *LabelTable
+	// members routes cross-join artifacts by owner (see crossJob).
+	members map[*Tree]struct{}
+	// tokidx holds the persistent token-index snapshots, by tokenizer name.
+	// Materialised lazily by the first signature-method join after the
+	// corpus has mutated; maintained by every later Add/Remove.
+	tokidx map[string]dynEntry
+}
+
+type dynEntry struct {
+	tz   engine.Tokenizer
+	snap *engine.TokenSnap
+}
+
+// Corpus is the primary entry point for joining and querying a collection
+// of trees: construct it once, query it many times, and — since the corpus
+// is fully dynamic — mutate it in place with Add and Remove as documents
+// arrive, change, and disappear. All trees must share one LabelTable
+// (validated — NewCorpus and Add return errors instead of producing
+// silently wrong joins).
 //
 // The corpus owns a signature cache: every per-tree artifact any query
 // computes — traversal strings, histograms, Euler strings and gram bags,
@@ -55,13 +89,26 @@ type CacheStats = engine.CacheStats
 // decompositions) — is cached by (artifact, tree) and reused by every later
 // query, whatever its threshold or method. A second SelfJoin at a different
 // τ recomputes no per-tree signature and re-runs no prepare; only the
-// τ-dependent pair predicates and candidate enumeration run again. Search and KNN queries
-// additionally share a small LRU of per-threshold PartSJ indexes (see
-// WithIndexCacheCap). The cache never evicts: its memory is bounded by the
-// filter kinds and PartSJ thresholds actually queried (see DESIGN.md,
-// "The corpus artifact cache"); workloads sweeping unboundedly many
-// distinct thresholds should recycle the corpus, whose only state is this
-// cache.
+// τ-dependent pair predicates and candidate enumeration run again. Search
+// and KNN queries additionally share a small LRU of per-threshold PartSJ
+// indexes (see WithIndexCacheCap). Removing trees evicts their artifacts,
+// so the cache's memory tracks the live collection; beyond that it never
+// evicts — its size is bounded by the filter kinds and PartSJ thresholds
+// actually queried (see DESIGN.md, "The corpus artifact cache").
+//
+// Mutations are epoch-versioned with copy-on-write snapshots: Add and
+// Remove build a new immutable state and swap it in, so every query — and
+// every in-flight SelfJoinSeq or Search iterator — runs against the exact
+// membership it started with, while writers proceed concurrently. Queries
+// index trees by dense position (0..Len()-1 in insertion order, exactly as
+// a freshly built corpus over the same trees would); positions shift when
+// earlier trees are removed, so mutations address trees by the stable ids
+// Add returns (ID and PosOf translate). Snapshot pins the current epoch as
+// a frozen corpus view. A mutated corpus also keeps its token inverted
+// index live across joins — posting lists are appended on Add and
+// tombstoned on Remove, compacting when tombstones exceed half the
+// postings — instead of rebuilding it per join (see DESIGN.md, "Dynamic
+// corpora").
 //
 // Every query takes a context.Context: cancellation or deadline expiry
 // aborts the engine's candidate loops, worker pools, and verification stage
@@ -71,16 +118,53 @@ type CacheStats = engine.CacheStats
 // memory — ranging over a handful of pairs and breaking early cancels the
 // rest of the join.
 //
-// A Corpus is immutable after construction and safe for concurrent use.
+// A Corpus is safe for concurrent use, including concurrent readers with
+// writers; Add/Remove serialise against each other.
 type Corpus struct {
-	ts       []*Tree
-	lt       *LabelTable
+	state    atomic.Pointer[corpusState]
 	cache    *engine.Cache
-	members  map[*Tree]struct{} // for routing cross-join artifacts by owner
 	indexCap int
+	frozen   bool    // a Snapshot view: mutations are rejected
+	parent   *Corpus // the live corpus behind a Snapshot view; nil otherwise
 
-	mu        sync.Mutex
-	searchers map[searcherKey]*core.KNN
+	// overflow catches artifacts of trees no longer live in the corpus: a
+	// query pinned to a pre-Remove state (a Snapshot, an in-flight
+	// iterator) that recomputes a dead tree's signature stores it here, not
+	// in the shared cache — so Remove's eviction is never undone and the
+	// shared cache's memory genuinely tracks the live collection. Set only
+	// on Snapshot views (it dies with the view); a live corpus uses a
+	// per-run overflow instead (see runCache), so racing writes never
+	// accumulate.
+	overflow *engine.Cache
+
+	writeMu sync.Mutex // serialises mutations and token-index installs
+
+	mu            sync.Mutex
+	searchers     map[searcherKey]*core.KNN
+	searcherEpoch int64
+}
+
+// runCache returns the cache a query on cp should read and write through: a
+// router sending each tree's artifacts to the shared cache while the tree is
+// live in the (parent) corpus's current state, and to an overflow once it is
+// not. A Snapshot view routes to its per-view overflow (queries on the view
+// stay warm together; it dies with the view); a live corpus only hits the
+// overflow when a query races a Remove, so it gets a per-run one that dies
+// with the query — overflow memory never outlives whoever needed it.
+func (cp *Corpus) runCache() *engine.Cache {
+	live, over := cp, cp.overflow
+	if cp.parent != nil {
+		live = cp.parent
+	}
+	if over == nil {
+		over = engine.NewCache()
+	}
+	return engine.RoutedCache(func(t *tree.Tree) *engine.Cache {
+		if _, ok := live.state.Load().members[t]; ok {
+			return live.cache
+		}
+		return over
+	})
 }
 
 // searcherKey identifies one index configuration of the per-corpus search
@@ -97,36 +181,296 @@ type searcherKey struct {
 // WithIndexCacheCap); per-query options go to the individual calls.
 func NewCorpus(ts []*Tree, opts ...Option) (*Corpus, error) {
 	c := buildConfig(opts)
-	cp := &Corpus{
-		ts:        make([]*Tree, len(ts)),
-		cache:     engine.NewCache(),
-		members:   make(map[*Tree]struct{}, len(ts)),
-		indexCap:  c.indexCap,
-		searchers: make(map[searcherKey]*core.KNN),
+	st := &corpusState{
+		ts:      slices.Clone(ts),
+		ids:     make([]int, len(ts)),
+		pos:     make(map[int]int, len(ts)),
+		nextID:  len(ts),
+		members: make(map[*Tree]struct{}, len(ts)),
 	}
-	copy(cp.ts, ts)
-	for i, t := range cp.ts {
+	for i, t := range st.ts {
 		if t == nil {
 			return nil, fmt.Errorf("%w at index %d", ErrNilTree, i)
 		}
-		if cp.lt == nil {
-			cp.lt = t.Labels
-		} else if t.Labels != cp.lt {
+		if st.lt == nil {
+			st.lt = t.Labels
+		} else if t.Labels != st.lt {
 			return nil, fmt.Errorf("%w (tree %d)", ErrLabelTable, i)
 		}
-		cp.members[t] = struct{}{}
+		st.ids[i] = i
+		st.pos[i] = i
+		st.members[t] = struct{}{}
 	}
+	cp := &Corpus{
+		cache:     engine.NewCache(),
+		indexCap:  c.indexCap,
+		searchers: make(map[searcherKey]*core.KNN),
+	}
+	cp.state.Store(st)
 	return cp, nil
 }
 
-// Len returns the number of trees in the corpus.
-func (cp *Corpus) Len() int { return len(cp.ts) }
+// Len returns the number of live trees in the corpus. Each call reads the
+// current state, so a Len-then-Tree loop racing a concurrent Remove can see
+// positions disappear between calls — iterate over Trees() or a Snapshot()
+// when writers may be active.
+func (cp *Corpus) Len() int { return len(cp.state.Load().ts) }
 
-// Tree returns the i-th corpus tree.
-func (cp *Corpus) Tree(i int) *Tree { return cp.ts[i] }
+// Tree returns the tree at position i (0 ≤ i < Len(), insertion order over
+// the live trees) of the current state; see Len for the concurrent-mutation
+// caveat.
+func (cp *Corpus) Tree(i int) *Tree { return cp.state.Load().ts[i] }
+
+// Trees returns a copy of the live trees in position order, read from one
+// state — the race-free way to enumerate a corpus that concurrent writers
+// may be mutating (each query method pins its state the same way).
+func (cp *Corpus) Trees() []*Tree { return slices.Clone(cp.state.Load().ts) }
+
+// ID returns the stable id of the tree at position i of the current state
+// (see Len for the concurrent-mutation caveat). Ids are assigned by
+// NewCorpus (0..n-1) and Add (continuing the sequence) and never reused;
+// they survive removals of other trees, which shift positions but not ids.
+func (cp *Corpus) ID(i int) int { return cp.state.Load().ids[i] }
+
+// PosOf returns the current position of the tree with the given id, or
+// false when the id was never assigned or its tree has been removed.
+func (cp *Corpus) PosOf(id int) (int, bool) {
+	p, ok := cp.state.Load().pos[id]
+	return p, ok
+}
+
+// Epoch returns the corpus's mutation epoch: 0 at construction, bumped by
+// every Add and Remove batch. Two reads at the same epoch observed the same
+// membership.
+func (cp *Corpus) Epoch() int64 { return cp.state.Load().epoch }
 
 // CacheStats returns a snapshot of the corpus's signature-cache counters.
 func (cp *Corpus) CacheStats() CacheStats { return cp.cache.Stats() }
+
+// Snapshot returns a frozen view of the corpus at its current epoch: a
+// corpus whose queries all run against this exact membership, unaffected by
+// later Add/Remove on the parent (which proceed without blocking). The view
+// shares the parent's signature cache, so its queries stay warm; artifacts
+// of trees the parent has since removed land in a view-local overflow that
+// is garbage-collected with the view, so a snapshot can never undo the
+// parent's evictions. Add and Remove on the view return ErrImmutableSnapshot
+// (respectively 0).
+func (cp *Corpus) Snapshot() *Corpus {
+	parent := cp
+	if cp.parent != nil {
+		parent = cp.parent
+	}
+	s := &Corpus{
+		cache:     cp.cache,
+		overflow:  engine.NewCache(),
+		indexCap:  cp.indexCap,
+		frozen:    true,
+		parent:    parent,
+		searchers: make(map[searcherKey]*core.KNN),
+	}
+	st := cp.state.Load()
+	s.state.Store(st)
+	s.searcherEpoch = st.epoch
+	return s
+}
+
+// Add appends ts to the corpus (they become the highest positions, in
+// order) and returns their stable ids. Validation matches NewCorpus: no nil
+// trees, one shared LabelTable (an empty corpus adopts the first added
+// tree's table). The mutation is atomic — queries see either none or all of
+// the batch — and keeps every maintained artifact live: cached signatures
+// of existing trees are untouched, and materialised token-index posting
+// lists are appended to, not rebuilt. In-flight queries continue on their
+// pre-Add snapshot.
+func (cp *Corpus) Add(ts ...*Tree) ([]int, error) {
+	if cp.frozen {
+		return nil, ErrImmutableSnapshot
+	}
+	if len(ts) == 0 {
+		return nil, nil
+	}
+	cp.writeMu.Lock()
+	defer cp.writeMu.Unlock()
+	st := cp.state.Load()
+	lt := st.lt
+	for i, t := range ts {
+		if t == nil {
+			return nil, fmt.Errorf("%w (added tree %d)", ErrNilTree, i)
+		}
+		if lt == nil {
+			lt = t.Labels
+		} else if t.Labels != lt {
+			return nil, fmt.Errorf("%w (added tree %d)", ErrLabelTable, i)
+		}
+	}
+	ns := &corpusState{
+		epoch:   st.epoch + 1,
+		ts:      append(slices.Clone(st.ts), ts...),
+		ids:     slices.Clone(st.ids),
+		pos:     maps.Clone(st.pos),
+		nextID:  st.nextID + len(ts),
+		lt:      lt,
+		members: maps.Clone(st.members),
+		tokidx:  make(map[string]dynEntry, len(st.tokidx)),
+	}
+	ids := make([]int, len(ts))
+	for i, t := range ts {
+		id := st.nextID + i
+		ids[i] = id
+		ns.ids = append(ns.ids, id)
+		ns.pos[id] = len(st.ts) + i
+		ns.members[t] = struct{}{}
+	}
+	for name, e := range st.tokidx {
+		ns.tokidx[name] = dynEntry{tz: e.tz, snap: e.snap.WithAdded(ts, cp.cache)}
+	}
+	cp.state.Store(ns)
+	cp.dropSearchers(ns.epoch)
+	return ids, nil
+}
+
+// dropSearchers eagerly releases the per-threshold search indexes built over
+// the previous membership when a mutation lands at epoch. The searcher
+// method would rotate them lazily on the next Search/KNN anyway; dropping
+// them here means a mutation that is never followed by a search does not
+// keep full PartSJ indexes (and the removed trees they reference) resident.
+func (cp *Corpus) dropSearchers(epoch int64) {
+	cp.mu.Lock()
+	cp.searchers = make(map[searcherKey]*core.KNN)
+	cp.searcherEpoch = epoch
+	cp.mu.Unlock()
+}
+
+// Remove deletes the trees with the given ids from the corpus and returns
+// how many were removed (unknown or already-removed ids are skipped).
+// Later trees shift down to keep positions dense, so after the call the
+// corpus is indistinguishable — query for query, pair for pair — from a
+// corpus freshly built over the survivors; ids are stable throughout. The
+// removed trees' cached signatures and preparations are evicted, their
+// token-index postings tombstoned (probes skip them; the lists compact once
+// tombstones exceed half the postings), and the per-threshold search-index
+// LRU is invalidated, so no stale index can serve a post-Remove query.
+// In-flight queries continue on their pre-Remove snapshot.
+func (cp *Corpus) Remove(ids ...int) int {
+	if cp.frozen || len(ids) == 0 {
+		return 0
+	}
+	cp.writeMu.Lock()
+	defer cp.writeMu.Unlock()
+	st := cp.state.Load()
+	gone := make(map[int]bool, len(ids)) // positions to drop
+	for _, id := range ids {
+		if p, ok := st.pos[id]; ok {
+			gone[p] = true
+		}
+	}
+	if len(gone) == 0 {
+		return 0
+	}
+	positions := make([]int, 0, len(gone))
+	for p := range gone {
+		positions = append(positions, p)
+	}
+	slices.Sort(positions)
+	ns := &corpusState{
+		epoch:   st.epoch + 1,
+		ts:      make([]*Tree, 0, len(st.ts)-len(gone)),
+		ids:     make([]int, 0, len(st.ts)-len(gone)),
+		pos:     make(map[int]int, len(st.ts)-len(gone)),
+		nextID:  st.nextID,
+		lt:      st.lt,
+		members: make(map[*Tree]struct{}, len(st.ts)-len(gone)),
+		tokidx:  make(map[string]dynEntry, len(st.tokidx)),
+	}
+	var removed []*tree.Tree
+	for p, t := range st.ts {
+		if gone[p] {
+			removed = append(removed, t)
+			continue
+		}
+		ns.pos[st.ids[p]] = len(ns.ts)
+		ns.ts = append(ns.ts, t)
+		ns.ids = append(ns.ids, st.ids[p])
+		ns.members[t] = struct{}{}
+	}
+	// Below the token-index cutoff dynTokens stops serving the maintained
+	// snapshots, so drop them rather than paying their write-path upkeep on
+	// every further mutation; they re-materialise if the corpus grows back.
+	if len(ns.ts) >= engine.TokenIndexMinTrees {
+		for name, e := range st.tokidx {
+			ns.tokidx[name] = dynEntry{tz: e.tz, snap: e.snap.WithRemoved(positions)}
+		}
+	}
+	// Evict the removed trees' artifacts — unless the same tree object is
+	// still live at another position (the corpus permits aliases), in which
+	// case its artifacts stay warm for the survivor.
+	evict := removed[:0]
+	for _, t := range removed {
+		if _, alive := ns.members[t]; !alive {
+			evict = append(evict, t)
+		}
+	}
+	// Publish the new state before evicting: once the swap is visible,
+	// runCache routes the dead trees to overflow caches, so the window in
+	// which a racing reader can re-store an evicted artifact into the
+	// shared cache shrinks to stores whose route was resolved before the
+	// swap — a handful of in-flight artifacts at worst, not the steady
+	// leak the reverse order would allow.
+	cp.state.Store(ns)
+	cp.cache.Evict(evict...)
+	cp.dropSearchers(ns.epoch)
+	return len(positions)
+}
+
+// dynTokens returns the persistent token-index provider for a self join
+// over st: the engine's token-index source calls it to probe a maintained
+// snapshot instead of building a per-run index. A corpus that has never
+// mutated keeps the per-run source (a one-shot join has nothing to
+// amortise); the first signature-method join after a mutation materialises
+// the snapshot — built from the same cached bags the per-run source would
+// use — installs it for every later join, and Add/Remove keep it live.
+func (cp *Corpus) dynTokens(st *corpusState) func(engine.Tokenizer) *engine.TokenSnap {
+	return func(tz engine.Tokenizer) *engine.TokenSnap {
+		if st.epoch == 0 || len(st.ts) < engine.TokenIndexMinTrees {
+			return nil
+		}
+		if e, ok := st.tokidx[tz.Name()]; ok {
+			return e.snap
+		}
+		// Materialise only for the corpus's current state: a stale view (an
+		// in-flight iterator that outlived a mutation) keeps the per-run
+		// prefix source rather than paying a full-bag build it could never
+		// install or amortise. Reading the current state also picks up a
+		// snapshot a concurrent join installed after st was pinned, keeping
+		// the duplicate-build window minimal.
+		if cur := cp.state.Load(); cur.epoch != st.epoch {
+			return nil
+		} else if e, ok := cur.tokidx[tz.Name()]; ok {
+			return e.snap
+		}
+		snap := engine.NewTokenSnap(tz, st.ts, cp.runCache())
+		// Install for later joins — unless the corpus moved on while the
+		// snapshot was building; the one-off still serves this run (it was
+		// built from st.ts, which is what the run joins).
+		cp.writeMu.Lock()
+		cur := cp.state.Load()
+		if cur.epoch == st.epoch {
+			if e, ok := cur.tokidx[tz.Name()]; ok {
+				snap = e.snap
+			} else {
+				ns := *cur
+				ns.tokidx = maps.Clone(cur.tokidx)
+				if ns.tokidx == nil {
+					ns.tokidx = make(map[string]dynEntry, 1)
+				}
+				ns.tokidx[tz.Name()] = dynEntry{tz: tz, snap: snap}
+				cp.state.Store(&ns)
+			}
+		}
+		cp.writeMu.Unlock()
+		return snap
+	}
+}
 
 // SelfJoin reports every unordered pair of corpus trees whose tree edit
 // distance is at most tau, in ascending (I, J) order, with execution
@@ -140,15 +484,17 @@ func (cp *Corpus) SelfJoin(ctx context.Context, tau int, opts ...Option) ([]Pair
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	job.Cache = cp.cache
+	st := cp.state.Load()
+	job.Cache = cp.runCache()
+	job.DynTokens = cp.dynTokens(st)
 	var pairs []Pair
-	st, err := job.StreamSelf(ctx, cp.ts, func(p Pair) bool {
+	stats, err := job.StreamSelf(ctx, st.ts, func(p Pair) bool {
 		pairs = append(pairs, p)
 		return true
 	})
 	sim.SortPairs(pairs)
-	c.publishStats(st)
-	return pairs, *st, err
+	c.publishStats(stats)
+	return pairs, *stats, err
 }
 
 // SelfJoinSeq is the streaming SelfJoin: it returns a sequence that runs the
@@ -159,17 +505,21 @@ func (cp *Corpus) SelfJoin(ctx context.Context, tau int, opts ...Option) ([]Pair
 // the warm cache). Use WithStats to receive the run's statistics after the
 // sequence ends. Option and threshold validation happens eagerly, before the
 // sequence is returned; cancellation simply ends the sequence early — check
-// ctx.Err() afterwards to distinguish completion from abort.
+// ctx.Err() afterwards to distinguish completion from abort. The sequence is
+// pinned to the corpus state at this call: later Add/Remove do not disturb a
+// running (or re-run) iteration.
 func (cp *Corpus) SelfJoinSeq(ctx context.Context, tau int, opts ...Option) (iter.Seq[Pair], error) {
 	c := buildConfig(opts)
 	job, err := c.jobChecked(tau)
 	if err != nil {
 		return nil, err
 	}
-	job.Cache = cp.cache
+	st := cp.state.Load()
+	job.Cache = cp.runCache()
+	job.DynTokens = cp.dynTokens(st)
 	return func(yield func(Pair) bool) {
-		st, _ := job.StreamSelf(ctx, cp.ts, sim.EmitFunc(yield))
-		c.publishStats(st)
+		stats, _ := job.StreamSelf(ctx, st.ts, sim.EmitFunc(yield))
+		c.publishStats(stats)
 	}, nil
 }
 
@@ -180,12 +530,12 @@ func (cp *Corpus) SelfJoinSeq(ctx context.Context, tau int, opts ...Option) (ite
 // against the same partner warm up too.
 func (cp *Corpus) Join(ctx context.Context, other *Corpus, tau int, opts ...Option) ([]Pair, Stats, error) {
 	c := buildConfig(opts)
-	job, err := cp.crossJob(c, other, tau)
+	job, a, b, err := cp.crossJob(c, other, tau)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	var pairs []Pair
-	st, err := job.StreamJoin(ctx, cp.ts, other.ts, func(p Pair) bool {
+	st, err := job.StreamJoin(ctx, a, b, func(p Pair) bool {
 		pairs = append(pairs, p)
 		return true
 	})
@@ -197,57 +547,61 @@ func (cp *Corpus) Join(ctx context.Context, other *Corpus, tau int, opts ...Opti
 // JoinSeq is the streaming Join, with SelfJoinSeq's contract.
 func (cp *Corpus) JoinSeq(ctx context.Context, other *Corpus, tau int, opts ...Option) (iter.Seq[Pair], error) {
 	c := buildConfig(opts)
-	job, err := cp.crossJob(c, other, tau)
+	job, a, b, err := cp.crossJob(c, other, tau)
 	if err != nil {
 		return nil, err
 	}
 	return func(yield func(Pair) bool) {
-		st, _ := job.StreamJoin(ctx, cp.ts, other.ts, sim.EmitFunc(yield))
+		st, _ := job.StreamJoin(ctx, a, b, sim.EmitFunc(yield))
 		c.publishStats(st)
 	}, nil
 }
 
-// crossJob validates a cross join against other and assembles its job. The
-// run's cache routes each tree's artifacts to the corpus that owns it, so
-// both sides warm their own caches and neither retains (and pins) the
-// other's trees; trees belonging to neither side land in the receiver's.
-func (cp *Corpus) crossJob(c config, other *Corpus, tau int) (engine.Job, error) {
+// crossJob validates a cross join against other, snapshots both corpora's
+// states (the join runs against exactly these memberships even when either
+// side mutates mid-run), and assembles its job. The run's cache routes each
+// tree's artifacts to the corpus that owns it, so both sides warm their own
+// caches and neither retains (and pins) the other's trees; trees belonging
+// to neither side — including trees either side has since removed — land
+// in a run-local overflow that dies with the query.
+func (cp *Corpus) crossJob(c config, other *Corpus, tau int) (engine.Job, []*Tree, []*Tree, error) {
 	if other == nil {
-		return engine.Job{}, ErrNilCorpus
+		return engine.Job{}, nil, nil, ErrNilCorpus
 	}
-	if cp.lt != nil && other.lt != nil && cp.lt != other.lt {
-		return engine.Job{}, fmt.Errorf("%w (cross join)", ErrLabelTable)
+	sa, sb := cp.state.Load(), other.state.Load()
+	if sa.lt != nil && sb.lt != nil && sa.lt != sb.lt {
+		return engine.Job{}, nil, nil, fmt.Errorf("%w (cross join)", ErrLabelTable)
 	}
 	job, err := c.jobChecked(tau)
 	if err != nil {
-		return engine.Job{}, err
+		return engine.Job{}, nil, nil, err
 	}
+	ra, rb := cp.runCache(), other.runCache()
 	job.Cache = engine.RoutedCache(func(t *tree.Tree) *engine.Cache {
-		if _, ok := cp.members[t]; ok {
-			return cp.cache
+		if _, ok := sb.members[t]; ok {
+			return rb
 		}
-		if _, ok := other.members[t]; ok {
-			return other.cache
-		}
-		return cp.cache
+		return ra
 	})
-	return job, nil
+	return job, sa.ts, sb.ts, nil
 }
 
 // Search reports every corpus tree within TED tau of q, in ascending corpus
 // order. The per-threshold PartSJ index is built on first use and retained
 // in the corpus's index LRU, so repeated searches at the same threshold pay
-// only probing and verification. Search always runs on the PartSJ index;
-// WithMethod, WithPrefilter, and WithShards conflict with it.
+// only probing and verification; mutations invalidate the LRU, so a stale
+// index can never serve a post-Remove query. Search always runs on the
+// PartSJ index; WithMethod, WithPrefilter, and WithShards conflict with it.
 func (cp *Corpus) Search(ctx context.Context, q *Tree, tau int, opts ...Option) ([]Match, error) {
 	if tau < 0 {
 		return nil, fmt.Errorf("%w %d", ErrNegativeThreshold, tau)
 	}
-	c, err := cp.queryConfig(q, "Search", opts)
+	st := cp.state.Load()
+	c, err := cp.queryConfig(st, q, "Search", opts)
 	if err != nil {
 		return nil, err
 	}
-	return cp.searcher(c).IndexAt(tau).SearchCtx(ctx, q)
+	return cp.searcher(st, c).IndexAt(tau).SearchCtx(ctx, q)
 }
 
 // TopK returns the k closest pairs of the corpus by TED, ordered by
@@ -264,7 +618,7 @@ func (cp *Corpus) TopK(ctx context.Context, k int, opts ...Option) ([]Pair, erro
 	if err := c.requirePartSJ("TopK", true); err != nil {
 		return nil, err
 	}
-	return core.TopKCtx(ctx, cp.ts, k, c.coreOptions(0), c.shards, cp.cache)
+	return core.TopKCtx(ctx, cp.state.Load().ts, k, c.coreOptions(0), c.shards, cp.runCache())
 }
 
 // KNN returns the k corpus trees closest to q by TED, ordered by
@@ -275,18 +629,21 @@ func (cp *Corpus) TopK(ctx context.Context, k int, opts ...Option) ([]Pair, erro
 // PartSJ index; WithMethod, WithPrefilter, and WithShards conflict with
 // it.
 func (cp *Corpus) KNN(ctx context.Context, q *Tree, k int, opts ...Option) ([]Match, error) {
-	c, err := cp.queryConfig(q, "KNN", opts)
+	st := cp.state.Load()
+	c, err := cp.queryConfig(st, q, "KNN", opts)
 	if err != nil {
 		return nil, err
 	}
-	return cp.searcher(c).NearestCtx(ctx, q, k)
+	return cp.searcher(st, c).NearestCtx(ctx, q, k)
 }
 
 // Incremental returns an empty streaming join with threshold tau that shares
 // the corpus's signature cache: trees the corpus has already joined (or that
 // were added before) enter the stream without recomputing their binary view
 // or partition. The stream itself starts empty — it does not contain the
-// corpus trees.
+// corpus trees — and evolves independently of later corpus mutations; its
+// Pairs and Retracted views maintain a standing result set across the
+// stream's own Add/Remove sequence.
 func (cp *Corpus) Incremental(tau int, opts ...Option) (*Incremental, error) {
 	if tau < 0 {
 		return nil, fmt.Errorf("%w %d", ErrNegativeThreshold, tau)
@@ -295,17 +652,17 @@ func (cp *Corpus) Incremental(tau int, opts ...Option) (*Incremental, error) {
 	if err := c.requirePartSJ("Incremental", false); err != nil {
 		return nil, err
 	}
-	return &Incremental{inner: core.NewIncrementalCached(c.coreOptions(tau), cp.cache)}, nil
+	return &Incremental{inner: core.NewIncrementalCached(c.coreOptions(tau), cp.runCache())}, nil
 }
 
 // queryConfig validates a query tree and the options of an index-backed
 // query (Search, KNN).
-func (cp *Corpus) queryConfig(q *Tree, op string, opts []Option) (config, error) {
+func (cp *Corpus) queryConfig(st *corpusState, q *Tree, op string, opts []Option) (config, error) {
 	c := buildConfig(opts)
 	if q == nil {
 		return c, fmt.Errorf("%w (query)", ErrNilTree)
 	}
-	if cp.lt != nil && q.Labels != cp.lt {
+	if st.lt != nil && q.Labels != st.lt {
 		return c, fmt.Errorf("%w (query)", ErrLabelTable)
 	}
 	if err := c.requirePartSJ(op, false); err != nil {
@@ -330,20 +687,36 @@ func (c config) requirePartSJ(op string, allowShards bool) error {
 	return nil
 }
 
-// searcher returns the index machinery for c's index configuration,
-// creating it on first use.
-func (cp *Corpus) searcher(c config) *core.KNN {
+// searcher returns the index machinery for c's index configuration over the
+// st membership, creating it on first use. The searcher cache is pinned to
+// one epoch: the first query after a mutation rotates it, dropping every
+// per-threshold index built over the old membership (the eviction-on-epoch
+// contract — a stale index can never serve a post-Remove query). A query
+// still running against an older state builds a one-off searcher for its
+// snapshot instead of polluting the cache.
+func (cp *Corpus) searcher(st *corpusState, c config) *core.KNN {
+	capacity := cp.indexCap
+	if capacity < 1 {
+		capacity = core.DefaultIndexCacheCap
+	}
+	o := c.coreOptions(1) // Tau here only seeds KNN's expanding search
 	key := searcherKey{pos: c.position, hybrid: c.hybrid}
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
+	if cp.searcherEpoch != st.epoch {
+		if cur := cp.state.Load(); cur.epoch == st.epoch {
+			// First query at the new epoch: invalidate everything built
+			// over the previous membership.
+			cp.searchers = make(map[searcherKey]*core.KNN)
+			cp.searcherEpoch = st.epoch
+		} else {
+			// The query snapshotted an older epoch than the cache serves.
+			return core.NewKNNCached(st.ts, o, cp.runCache(), capacity)
+		}
+	}
 	s := cp.searchers[key]
 	if s == nil {
-		capacity := cp.indexCap
-		if capacity < 1 {
-			capacity = core.DefaultIndexCacheCap
-		}
-		o := c.coreOptions(1) // Tau here only seeds KNN's expanding search
-		s = core.NewKNNCached(cp.ts, o, cp.cache, capacity)
+		s = core.NewKNNCached(st.ts, o, cp.runCache(), capacity)
 		cp.searchers[key] = s
 	}
 	return s

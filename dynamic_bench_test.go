@@ -1,0 +1,82 @@
+// BenchmarkDynamicUpdate quantifies the tentpole of the dynamic Corpus:
+// maintaining state under mutation instead of recomputing it. "incremental"
+// is one Update (Remove + Add + delta) against a standing 2000-tree
+// incremental join — the maintained-result path; "corpus-churn" is one
+// Remove + Add on a 2000-tree corpus with materialised token indexes — the
+// maintained-index path (posting-list append + tombstone, cache eviction,
+// epoch swap). "rebuild" is the alternative both replace: build a fresh
+// corpus over the same 2000 trees and re-run the self join from scratch.
+// BENCH_dynamic.json records the gap; the acceptance bar is per-update cost
+// at least 10× below rebuild.
+package treejoin_test
+
+import (
+	"context"
+	"testing"
+
+	"treejoin"
+)
+
+func BenchmarkDynamicUpdate(b *testing.B) {
+	ctx := context.Background()
+	ts := engineBenchCorpus() // the shared 2000-tree synthetic corpus
+
+	b.Run("incremental", func(b *testing.B) {
+		inc := treejoin.NewIncremental(2)
+		for _, t := range ts {
+			inc.Add(t)
+		}
+		live := make([]int, len(ts))
+		for i := range live {
+			live[i] = i
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := (i * 13) % len(live)
+			t := inc.Tree(live[k])
+			np, _ := inc.Update(live[k], t)
+			inc.Retracted()
+			live[k] = np
+		}
+	})
+
+	b.Run("corpus-churn", func(b *testing.B) {
+		cp, err := treejoin.NewCorpus(ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Materialise the maintained token indexes (one per tokenizer
+		// class) so every churn iteration pays their posting updates.
+		ids, err := cp.Add(ts[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp.Remove(ids[0])
+		for _, m := range []treejoin.Method{treejoin.MethodSTR, treejoin.MethodSET} {
+			if _, _, err := cp.SelfJoin(ctx, 1, treejoin.WithMethod(m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := (i * 13) % cp.Len()
+			id, t := cp.ID(p), cp.Tree(p)
+			cp.Remove(id)
+			if _, err := cp.Add(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cp, err := treejoin.NewCorpus(ts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := cp.SelfJoin(ctx, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,142 @@
+// The dynamic-corpus race hammer: concurrent Add/Remove writers against
+// Search/SelfJoinSeq/SelfJoin readers on one shared corpus. Run under
+// -race (CI does), it exercises the copy-on-write state swap, the
+// token-index snapshot handoff, the searcher-LRU epoch rotation, and the
+// shared artifact cache under eviction. Readers assert snapshot isolation
+// through pinned Snapshot views: every pair a view's join reports indexes
+// that view's membership and is within threshold for that view's trees — a
+// result can never reference a tree removed by a concurrent writer, because
+// the view's epoch predates the removal and its state is immutable.
+package treejoin_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"treejoin"
+	"treejoin/internal/synth"
+)
+
+func TestDynamicCorpusRace(t *testing.T) {
+	ctx := context.Background()
+	pool := synth.Generate(synth.SyntheticParams(140, 3, 5, 20, 30, 61))
+	cp := mustCorpus(t, pool[:60])
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	report := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+
+	// Writer: random Add/Remove churn. Ids grow monotonically, so removing
+	// a random id below the high-water mark hits live and dead ids alike.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		next := 60
+		maxID := 60
+		for i := 0; i < 150; i++ {
+			if rng.Intn(2) == 0 {
+				if _, err := cp.Add(pool[next%len(pool)]); err != nil {
+					report("Add: %v", err)
+					return
+				}
+				next++
+				maxID++
+			} else if cp.Len() > 45 {
+				cp.Remove(rng.Intn(maxID))
+			}
+		}
+	}()
+
+	// Joining reader: pin a view, join it, and hold every pair to the
+	// view's membership and threshold.
+	for _, m := range []treejoin.Method{treejoin.MethodPartSJ, treejoin.MethodSTR} {
+		wg.Add(1)
+		go func(m treejoin.Method) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				v := cp.Snapshot()
+				n := v.Len()
+				pairs, _, err := v.SelfJoin(ctx, 2, treejoin.WithMethod(m))
+				if err != nil {
+					report("%v SelfJoin: %v", m, err)
+					return
+				}
+				for _, p := range pairs {
+					if p.I < 0 || p.J >= n || p.I >= p.J {
+						report("%v: pair %+v outside snapshot of %d trees", m, p, n)
+						return
+					}
+					if d := treejoin.Distance(v.Tree(p.I), v.Tree(p.J)); d != p.Dist || d > 2 {
+						report("%v: pair %+v has distance %d in its own snapshot", m, p, d)
+						return
+					}
+				}
+			}
+		}(m)
+	}
+
+	// Streaming reader on the corpus itself: the sequence pins its state at
+	// creation; iterating while the writer churns must stay consistent.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			v := cp.Snapshot()
+			n := v.Len()
+			seq, err := v.SelfJoinSeq(ctx, 1)
+			if err != nil {
+				report("SelfJoinSeq: %v", err)
+				return
+			}
+			for p := range seq {
+				if p.I < 0 || p.J >= n {
+					report("seq pair %+v outside snapshot of %d trees", p, n)
+					return
+				}
+			}
+		}
+	}()
+
+	// Searching reader: index-backed queries against pinned views; a match
+	// must be a live member of the view within the threshold.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 40; i++ {
+			q := pool[rng.Intn(len(pool))]
+			v := cp.Snapshot()
+			ms, err := v.Search(ctx, q, 1)
+			if err != nil {
+				report("Search: %v", err)
+				return
+			}
+			for _, m := range ms {
+				if m.Pos < 0 || m.Pos >= v.Len() {
+					report("search match %+v outside snapshot of %d trees", m, v.Len())
+					return
+				}
+				if d := treejoin.Distance(v.Tree(m.Pos), q); d != m.Dist || d > 1 {
+					report("search match %+v has distance %d in its own snapshot", m, d)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}

@@ -1,0 +1,428 @@
+// Tests for the dynamic Corpus: Add/Remove semantics (stable ids, dense
+// positions, epochs), snapshot isolation of views and in-flight sequences,
+// search-index invalidation on mutation, the maintained token index, and the
+// incremental stream's standing result view with retraction deltas.
+package treejoin_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"treejoin"
+	"treejoin/internal/synth"
+)
+
+// survivors materialises the corpus's current live trees in position order.
+func survivors(cp *treejoin.Corpus) []*treejoin.Tree { return cp.Trees() }
+
+func TestCorpusAddRemove(t *testing.T) {
+	ctx := context.Background()
+	lt := treejoin.NewLabelTable()
+	parse := func(s string) *treejoin.Tree { return treejoin.MustParseBracket(s, lt) }
+	ts := []*treejoin.Tree{
+		parse("{a{b}{c}}"), parse("{a{b}{d}}"), parse("{x{y}}"),
+		parse("{x{z}}"), parse("{a{b}{c{d}}}"),
+	}
+	cp := mustCorpus(t, ts)
+	if cp.Epoch() != 0 {
+		t.Fatalf("fresh corpus epoch = %d, want 0", cp.Epoch())
+	}
+
+	ids, err := cp.Add(parse("{a{b}}"), parse("{q}"))
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if len(ids) != 2 || ids[0] != 5 || ids[1] != 6 {
+		t.Fatalf("Add ids = %v, want [5 6]", ids)
+	}
+	if cp.Len() != 7 || cp.Epoch() != 1 {
+		t.Fatalf("after Add: len=%d epoch=%d, want 7, 1", cp.Len(), cp.Epoch())
+	}
+
+	if n := cp.Remove(2, 5, 99, 5); n != 2 {
+		t.Fatalf("Remove removed %d, want 2 (one unknown, one duplicate)", n)
+	}
+	if cp.Len() != 5 || cp.Epoch() != 2 {
+		t.Fatalf("after Remove: len=%d epoch=%d, want 5, 2", cp.Len(), cp.Epoch())
+	}
+	// Positions are dense over the survivors, in insertion order; ids are
+	// stable.
+	wantIDs := []int{0, 1, 3, 4, 6}
+	for p, id := range wantIDs {
+		if got := cp.ID(p); got != id {
+			t.Fatalf("ID(%d) = %d, want %d", p, got, id)
+		}
+		if pos, ok := cp.PosOf(id); !ok || pos != p {
+			t.Fatalf("PosOf(%d) = %d, %v, want %d, true", id, pos, ok, p)
+		}
+	}
+	if _, ok := cp.PosOf(2); ok {
+		t.Fatal("PosOf of a removed id reported true")
+	}
+
+	// A mutated corpus joins bit-identically to a fresh corpus over the
+	// survivors.
+	fresh := mustCorpus(t, survivors(cp))
+	for _, tau := range []int{0, 1, 2} {
+		got, _, err := cp.SelfJoin(ctx, tau)
+		if err != nil {
+			t.Fatalf("SelfJoin: %v", err)
+		}
+		want, _, err := fresh.SelfJoin(ctx, tau)
+		if err != nil {
+			t.Fatalf("fresh SelfJoin: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("τ=%d: %d pairs, fresh corpus %d", tau, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("τ=%d pair %d: %+v != %+v", tau, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Validation: nil trees and foreign label tables are rejected atomically
+	// (the corpus is unchanged).
+	if _, err := cp.Add(parse("{ok}"), nil); !errors.Is(err, treejoin.ErrNilTree) {
+		t.Fatalf("Add nil: err = %v, want ErrNilTree", err)
+	}
+	foreign := treejoin.MustParseBracket("{a}", treejoin.NewLabelTable())
+	if _, err := cp.Add(foreign); !errors.Is(err, treejoin.ErrLabelTable) {
+		t.Fatalf("Add foreign table: err = %v, want ErrLabelTable", err)
+	}
+	if cp.Len() != 5 || cp.Epoch() != 2 {
+		t.Fatalf("failed Add mutated the corpus: len=%d epoch=%d", cp.Len(), cp.Epoch())
+	}
+
+	// An emptied corpus still answers, and an empty corpus adopts the first
+	// added tree's table.
+	cp.Remove(wantIDs...)
+	if cp.Len() != 0 {
+		t.Fatalf("emptied corpus len = %d", cp.Len())
+	}
+	if pairs, _, err := cp.SelfJoin(ctx, 1); err != nil || len(pairs) != 0 {
+		t.Fatalf("empty corpus join: pairs=%v err=%v", pairs, err)
+	}
+	empty, err := treejoin.NewCorpus(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Add(foreign); err != nil {
+		t.Fatalf("empty corpus Add: %v", err)
+	}
+	if _, err := empty.Add(parse("{a}")); !errors.Is(err, treejoin.ErrLabelTable) {
+		t.Fatalf("adopted table not enforced: err = %v", err)
+	}
+}
+
+func TestCorpusSnapshotIsolation(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Synthetic(30, 5)
+	cp := mustCorpus(t, ts)
+	want, _, err := cp.SelfJoin(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	view := cp.Snapshot()
+	if _, err := cp.Add(ts[0]); err != nil { // aliasing the same tree is allowed
+		t.Fatalf("Add: %v", err)
+	}
+	cp.Remove(3, 4)
+
+	if view.Len() != 30 {
+		t.Fatalf("snapshot len = %d, want 30 (parent mutated to %d)", view.Len(), cp.Len())
+	}
+	got, _, err := view.SelfJoin(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot join: %d pairs, pre-mutation corpus had %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot pair %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := view.Add(ts[0]); !errors.Is(err, treejoin.ErrImmutableSnapshot) {
+		t.Fatalf("snapshot Add: err = %v, want ErrImmutableSnapshot", err)
+	}
+	if n := view.Remove(0); n != 0 {
+		t.Fatalf("snapshot Remove removed %d", n)
+	}
+
+	// The parent reflects its mutations.
+	if cp.Len() != 29 {
+		t.Fatalf("parent len = %d, want 29", cp.Len())
+	}
+}
+
+// TestCorpusSeqPinnedToEpoch: a sequence obtained before a mutation runs
+// against the membership it was created over, even when iterated only after
+// the mutation landed.
+func TestCorpusSeqPinnedToEpoch(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Synthetic(30, 8)
+	cp := mustCorpus(t, ts)
+	want, _, err := cp.SelfJoin(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq, err := cp.SelfJoinSeq(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Remove(0, 1, 2, 3, 4, 5)
+
+	var got []treejoin.Pair
+	for p := range seq {
+		got = append(got, p)
+	}
+	sortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("pinned seq: %d pairs, pre-mutation join had %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pinned seq pair %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCorpusSearchInvalidation: the per-threshold search-index LRU must not
+// survive a mutation — after Remove, a repeated Search at the same threshold
+// (the LRU's sweet spot) must agree with a fresh corpus over the survivors;
+// after Add, new trees must be found.
+func TestCorpusSearchInvalidation(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Synthetic(40, 21)
+	cp := mustCorpus(t, ts)
+	q := ts[7]
+
+	before, err := cp.Search(ctx, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range before {
+		if m.Pos == 7 && m.Dist == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("query tree not found in its own corpus")
+	}
+
+	cp.Remove(7) // the id of ts[7]
+	after, err := cp.Search(ctx, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshCp := mustCorpus(t, survivors(cp))
+	want, err := freshCp.Search(ctx, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(want) {
+		t.Fatalf("post-Remove search: %d matches, fresh corpus %d", len(after), len(want))
+	}
+	for i := range after {
+		if after[i] != want[i] {
+			t.Fatalf("post-Remove match %d: %+v != %+v (stale index?)", i, after[i], want[i])
+		}
+	}
+	for _, m := range after {
+		if cp.Tree(m.Pos) == q {
+			t.Fatal("post-Remove search returned the removed tree")
+		}
+	}
+
+	// Re-adding the tree makes it findable again, at the new position.
+	ids, err := cp.Add(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := cp.Search(ctx, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, _ := cp.PosOf(ids[0])
+	found = false
+	for _, m := range again {
+		if m.Pos == pos && m.Dist == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("re-added tree not found: matches=%v, want pos %d", again, pos)
+	}
+}
+
+// TestCorpusDynamicTokenIndex: a corpus that has mutated probes its
+// maintained token index (Stats.Source says so) and keeps results identical
+// to a fresh corpus; before any mutation the per-run source runs, exactly as
+// for a static corpus.
+func TestCorpusDynamicTokenIndex(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Synthetic(60, 17)
+	cp := mustCorpus(t, ts)
+
+	var st treejoin.Stats
+	if _, _, err := cp.SelfJoin(ctx, 2, treejoin.WithMethod(treejoin.MethodSTR), treejoin.WithStats(&st)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(st.Source, "dyn-") {
+		t.Fatalf("static corpus probed a dynamic index: source = %q", st.Source)
+	}
+
+	cp.Remove(0, 13)
+	if _, err := cp.Add(ts[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range []treejoin.Method{treejoin.MethodSTR, treejoin.MethodSET, treejoin.MethodPQGram} {
+		got, gst, err := cp.SelfJoin(ctx, 2, treejoin.WithMethod(m), treejoin.WithStats(&st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(gst.Source, "dyn-token-index(") {
+			t.Fatalf("%v: mutated corpus source = %q, want dyn-token-index", m, gst.Source)
+		}
+		fresh := mustCorpus(t, survivors(cp))
+		want, _, err := fresh.SelfJoin(ctx, 2, treejoin.WithMethod(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d pairs, fresh corpus %d", m, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v pair %d: %+v != %+v", m, i, got[i], want[i])
+			}
+		}
+	}
+
+	// The maintained index is reused across joins: a second join at a new
+	// threshold recomputes no per-tree signature (the warm-corpus contract
+	// extends to dynamic corpora).
+	base := cp.CacheStats()
+	if _, _, err := cp.SelfJoin(ctx, 3, treejoin.WithMethod(treejoin.MethodSTR)); err != nil {
+		t.Fatal(err)
+	}
+	if now := cp.CacheStats(); now.Misses != base.Misses {
+		t.Fatalf("warm dynamic join recomputed %d signatures", now.Misses-base.Misses)
+	}
+
+	// Degenerate thresholds (τ at the largest tree's size) keep the
+	// sorted-loop fallback even on a mutated corpus — no maintained index
+	// is materialised or probed in a regime where it cannot help.
+	maxSize := 0
+	for i := 0; i < cp.Len(); i++ {
+		if s := cp.Tree(i).Size(); s > maxSize {
+			maxSize = s
+		}
+	}
+	if _, _, err := cp.SelfJoin(ctx, maxSize, treejoin.WithMethod(treejoin.MethodSTR), treejoin.WithStats(&st)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != "sorted-loop" {
+		t.Fatalf("degenerate τ source = %q, want sorted-loop", st.Source)
+	}
+}
+
+// TestCorpusEvictionNotUndone: a snapshot re-running queries after the
+// parent removed trees must not repopulate the shared cache with the dead
+// trees' artifacts — they land in the view's overflow, so Remove's eviction
+// holds and shared-cache memory tracks the live collection.
+func TestCorpusEvictionNotUndone(t *testing.T) {
+	ctx := context.Background()
+	ts := synth.Synthetic(30, 43)
+	cp := mustCorpus(t, ts)
+	want, _, err := cp.SelfJoin(ctx, 1) // warm every live artifact
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	view := cp.Snapshot()
+	cp.Remove(0, 1, 2)
+	evicted := cp.CacheStats().Entries
+
+	got, _, err := view.SelfJoin(ctx, 1) // recomputes the dead trees' artifacts
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot join after parent Remove: %d pairs, want %d", len(got), len(want))
+	}
+	if after := cp.CacheStats().Entries; after != evicted {
+		t.Fatalf("snapshot query undid eviction: shared cache grew %d -> %d entries", evicted, after)
+	}
+}
+
+// TestIncrementalRetraction: the standing result view tracks Add/Remove
+// exactly — Pairs is always the self-join of the live trees, Retracted
+// drains precisely the withdrawn pairs, and a mirror applying both deltas
+// matches Pairs.
+func TestIncrementalRetraction(t *testing.T) {
+	lt := treejoin.NewLabelTable()
+	parse := func(s string) *treejoin.Tree { return treejoin.MustParseBracket(s, lt) }
+	inc := treejoin.NewIncremental(1)
+
+	mirror := map[[2]int]int{}
+	apply := func(added []treejoin.Pair) {
+		for _, p := range added {
+			mirror[[2]int{p.I, p.J}] = p.Dist
+		}
+		for _, p := range inc.Retracted() {
+			delete(mirror, [2]int{p.I, p.J})
+		}
+		standing := inc.Pairs()
+		if len(standing) != len(mirror) {
+			t.Fatalf("mirror has %d pairs, standing view %d", len(mirror), len(standing))
+		}
+		for _, p := range standing {
+			if d, ok := mirror[[2]int{p.I, p.J}]; !ok || d != p.Dist {
+				t.Fatalf("standing pair %+v missing from mirror (dist %d)", p, d)
+			}
+		}
+	}
+
+	apply(inc.Add(parse("{a{b}{c}}")))      // 0
+	apply(inc.Add(parse("{a{b}{d}}")))      // 1: pairs with 0
+	apply(inc.Add(parse("{a{b}{c}{d}}")))   // 2: pairs with 0 and 1
+	apply(inc.Add(parse("{z}")))            // 3: no partners
+	if got := len(inc.Pairs()); got != 3 {
+		t.Fatalf("standing pairs = %d, want 3", got)
+	}
+
+	if !inc.Remove(0) {
+		t.Fatal("Remove(0) failed")
+	}
+	retracted := inc.Retracted()
+	if len(retracted) != 2 {
+		t.Fatalf("retracted %d pairs, want 2 (both involving tree 0): %v", len(retracted), retracted)
+	}
+	for _, p := range retracted {
+		if p.I != 0 {
+			t.Fatalf("retracted pair %+v does not involve tree 0", p)
+		}
+		delete(mirror, [2]int{p.I, p.J})
+	}
+	if got := inc.Pairs(); len(got) != 1 || got[0].I != 1 || got[0].J != 2 {
+		t.Fatalf("standing pairs after retraction = %v, want [{1 2 ...}]", got)
+	}
+	if st := inc.Stats(); st.PairsRetracted != 2 {
+		t.Fatalf("Stats.PairsRetracted = %d, want 2", st.PairsRetracted)
+	}
+
+	// Update = Remove + Add: the replacement's pairs enter the standing
+	// view, the replaced tree's pairs leave it.
+	_, pairs := inc.Update(1, parse("{a{b}{c}}"))
+	apply(pairs)
+}

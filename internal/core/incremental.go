@@ -40,7 +40,19 @@ type Incremental struct {
 	removed   []bool
 	nRemoved  int
 	compactAt int // rebuild the index when nRemoved reaches this
+
+	// The standing result view: every pair reported by an Add and not yet
+	// retracted by a Remove, keyed by packed (I, J). Removals move the dead
+	// tree's pairs to the retraction delta, which Retracted drains — so a
+	// consumer holding a materialised result set can apply deltas instead
+	// of re-joining (the maintenance model of dynamic similarity-join
+	// enumeration).
+	standing map[uint64]int32
+	retract  []sim.Pair
 }
+
+// standingKey packs a result pair (i < j) into one map key.
+func standingKey(i, j int) uint64 { return uint64(uint32(i))<<32 | uint64(uint32(j)) }
 
 // NewIncremental returns an empty streaming join with the given options.
 // RandomPartition is not supported and is ignored. It panics on invalid
@@ -64,6 +76,7 @@ func NewIncrementalCached(opts Options, cache *engine.Cache) *Incremental {
 		cache:     cache,
 		ix:        newInvIndex(opts.Tau, opts.Position),
 		compactAt: 16,
+		standing:  make(map[uint64]int32),
 	}
 	if opts.HybridVerify && opts.Verifier == nil {
 		inc.seqs = newSeqCache(nil, cache, nil)
@@ -162,7 +175,34 @@ func (inc *Incremental) Add(t *tree.Tree) []sim.Pair {
 
 	sim.SortPairs(pairs)
 	inc.stats.Results += int64(len(pairs))
+	for _, p := range pairs {
+		inc.standing[standingKey(p.I, p.J)] = int32(p.Dist)
+	}
 	return pairs
+}
+
+// Pairs returns the standing result set — every pair some Add reported whose
+// trees are both still live — in canonical ascending (I, J) order. It is the
+// self-join of the live trees at the stream's threshold, maintained across
+// arbitrary Add/Remove sequences.
+func (inc *Incremental) Pairs() []sim.Pair {
+	out := make([]sim.Pair, 0, len(inc.standing))
+	for k, d := range inc.standing {
+		out = append(out, sim.Pair{I: int(k >> 32), J: int(uint32(k)), Dist: int(d)})
+	}
+	sim.SortPairs(out)
+	return out
+}
+
+// Retracted drains the retraction delta: every standing pair withdrawn by
+// Remove calls since the previous drain, in canonical order. A consumer
+// mirroring the result set applies Add's returned pairs as insertions and
+// this delta as deletions; after both, its mirror equals Pairs().
+func (inc *Incremental) Retracted() []sim.Pair {
+	out := inc.retract
+	inc.retract = nil
+	sim.SortPairs(out)
+	return out
 }
 
 // Remove deletes the i-th tree from the stream: it no longer appears in the
@@ -176,6 +216,16 @@ func (inc *Incremental) Remove(i int) bool {
 	}
 	inc.removed[i] = true
 	inc.nRemoved++
+	// Retract the standing pairs the dead tree participated in. The scan is
+	// O(|standing result|) — bounded by the result set, not the stream — and
+	// feeds the Retracted delta.
+	for k, d := range inc.standing {
+		if int(k>>32) == i || int(uint32(k)) == i {
+			delete(inc.standing, k)
+			inc.retract = append(inc.retract, sim.Pair{I: int(k >> 32), J: int(uint32(k)), Dist: int(d)})
+			inc.stats.PairsRetracted++
+		}
+	}
 	// Release the payload; only the tombstone remains.
 	inc.ts[i] = nil
 	inc.bins[i] = nil

@@ -110,6 +110,37 @@ func (c *Cache) Store(key string, t *tree.Tree, v any) {
 	byTree[t] = v
 }
 
+// Evict removes every artifact cached for the given trees, across all
+// artifact kinds, and returns the number of entries dropped. A dynamic
+// corpus calls it when trees are removed, so the cache's memory tracks the
+// live collection instead of everything ever joined; re-adding the same
+// tree later simply recomputes (and re-caches) its signatures. Evicting
+// from a routed cache delegates per tree, exactly like Lookup and Store.
+func (c *Cache) Evict(ts ...*tree.Tree) int {
+	if c == nil {
+		return 0
+	}
+	if c.route != nil {
+		n := 0
+		for _, t := range ts {
+			n += c.route(t).Evict(t)
+		}
+		return n
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range ts {
+		for _, byTree := range c.m {
+			if _, ok := byTree[t]; ok {
+				delete(byTree, t)
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Cached returns build(t) for every tree of ts, in order, computing each
 // missing artifact exactly once and caching it under key. With a nil cache it
 // degrades to plain computation — the pre-corpus behaviour. The misses are

@@ -1,0 +1,389 @@
+package engine
+
+import (
+	"maps"
+	"sort"
+	"time"
+
+	"treejoin/internal/tree"
+)
+
+// The persistent token inverted index behind dynamic corpora. The per-run
+// TokenIndexSource (tokenindex.go) rebuilds its prefix index on every join —
+// the right trade for a static collection joined a handful of times, the
+// wrong one for a corpus that mutates and re-joins continuously. A TokenSnap
+// amortises that build across joins: the full token bag of every live tree
+// is posted once, appends extend the posting lists, removals tombstone their
+// slots, and compaction rewrites the lists only when tombstones exceed a
+// ratio of the postings.
+//
+// Because full bags are indexed (not τ-dependent prefixes), one snapshot
+// serves every threshold and every method sharing the tokenizer. Probing
+// flips the per-run source's asymmetry: there the probe walks its whole bag
+// against prefix postings; here the probe walks a rare-first prefix of its
+// own bag — any Cτ+1 expanded elements of the larger bag must contain a
+// token the partner matches (≤ Cτ elements can go unmatched within τ), and
+// every matched token carries the partner in its full posting list. The
+// count threshold degenerates to ≥ 1 under this orientation, so the filter
+// chain does proportionally more of the pruning; the probe picks the tokens
+// with the shortest current posting lists (document frequency is read off
+// len(list) for free) to keep the walk short.
+//
+// A TokenSnap is immutable: WithAdded, WithRemoved, and compaction return a
+// new snapshot sharing unmodified posting lists with the old one. Readers
+// (in-flight joins) therefore never observe a mutation — the copy-on-write
+// discipline the dynamic Corpus's epoch snapshots are built from. Soundness
+// of the tombstone scheme is argued in DESIGN.md, "Dynamic corpora".
+
+// tokenCompactMinDead is the tombstone floor below which compaction never
+// runs: rewriting the lists for a handful of dead postings costs more than
+// skipping them ever will.
+const tokenCompactMinDead = 64
+
+// dynPosting records that a slot's bag contains count occurrences of a
+// token. Lists grow in slot order (slots are assigned in insertion order and
+// survive until compaction), so a list is ascending in slot.
+type dynPosting struct {
+	slot  int32
+	count int32
+}
+
+// TokenSnap is one immutable generation of the persistent token index: the
+// live trees (by stable slot), their bags and sizes, the full-bag posting
+// lists, and the tombstone state. Mutations return new snapshots; probing
+// never blocks a writer and a writer never disturbs a reader.
+type TokenSnap struct {
+	tz    Tokenizer
+	trees []*tree.Tree // by slot; nil once tombstoned
+	sizes []int32      // by slot (kept for dead slots: probes filter by size before liveness)
+	bags  []*tokenBag  // by slot; nil once tombstoned
+	dead  []bool       // tombstones by slot
+	nDead int
+
+	// posToSlot maps collection position -> slot: the live slots in
+	// insertion order. It is the contract with the corpus — position i of
+	// the collection the corpus runs a join over is trees[posToSlot[i]] —
+	// and it stays monotone (slots are assigned in insertion order and
+	// removals only delete entries), so slot order is position order.
+	posToSlot []int32
+
+	post   map[uint64][]dynPosting
+	bySize []int32 // live slots sorted by (size, slot), for light-probe window scans
+
+	livePostings int
+	deadPostings int
+	compactions  int64
+}
+
+// NewTokenSnap builds the first generation over ts (which become positions
+// 0..len-1). Bags are drawn through cache when non-nil, so a corpus that has
+// already joined pays no re-tokenisation.
+func NewTokenSnap(tz Tokenizer, ts []*tree.Tree, cache *Cache) *TokenSnap {
+	s := &TokenSnap{tz: tz, post: make(map[uint64][]dynPosting, 1<<10)}
+	s.appendTrees(ts, cache, nil)
+	s.rebuildBySize()
+	return s
+}
+
+// Tokenizer returns the tokenisation the snapshot indexes.
+func (s *TokenSnap) Tokenizer() Tokenizer { return s.tz }
+
+// Live returns the number of live (non-tombstoned) trees.
+func (s *TokenSnap) Live() int { return len(s.posToSlot) }
+
+// Tombstones returns the number of tombstoned slots awaiting compaction.
+func (s *TokenSnap) Tombstones() int { return s.nDead }
+
+// Postings returns the live and tombstoned posting counts; compaction fires
+// when the tombstoned share exceeds half, never below tokenCompactMinDead.
+func (s *TokenSnap) Postings() (live, tombstoned int) { return s.livePostings, s.deadPostings }
+
+// Compactions returns how many times this snapshot's lineage has rewritten
+// its posting lists to drop tombstones.
+func (s *TokenSnap) Compactions() int64 { return s.compactions }
+
+// WithAdded returns a new generation with ts appended (they become the
+// highest positions, in order). Shared posting lists are copied only for the
+// tokens the new trees carry.
+func (s *TokenSnap) WithAdded(ts []*tree.Tree, cache *Cache) *TokenSnap {
+	if len(ts) == 0 {
+		return s
+	}
+	n := s.clone(true)
+	n.appendTrees(ts, cache, make(map[uint64]bool))
+	n.rebuildBySize()
+	return n
+}
+
+// WithRemoved returns a new generation with the trees at the given
+// collection positions tombstoned (positions index the snapshot's own live
+// order, i.e. the corpus state it was built for). Postings stay in place —
+// probes skip dead slots — until the tombstoned share crosses the
+// compaction ratio, at which point the lists are rebuilt from exactly the
+// live slots' full bags (so compaction can never drop a live posting; see
+// DESIGN.md). Out-of-range positions are ignored.
+func (s *TokenSnap) WithRemoved(positions []int) *TokenSnap {
+	if len(positions) == 0 {
+		return s
+	}
+	// Tombstoning touches no posting list, so the map (and every list in
+	// it) is shared with the parent generation outright — a removal batch
+	// costs O(slots), not O(distinct tokens).
+	n := s.clone(false)
+	gone := make(map[int32]bool, len(positions))
+	for _, p := range positions {
+		if p < 0 || p >= len(n.posToSlot) {
+			continue
+		}
+		slot := n.posToSlot[p]
+		if n.dead[slot] {
+			continue
+		}
+		n.dead[slot] = true
+		n.nDead++
+		toks := len(n.bags[slot].toks)
+		n.livePostings -= toks
+		n.deadPostings += toks
+		n.trees[slot] = nil
+		n.bags[slot] = nil
+		gone[slot] = true
+	}
+	if len(gone) == 0 {
+		return s
+	}
+	kept := n.posToSlot[:0]
+	for _, slot := range n.posToSlot {
+		if !gone[slot] {
+			kept = append(kept, slot)
+		}
+	}
+	n.posToSlot = kept
+	if n.deadPostings >= tokenCompactMinDead && n.deadPostings > n.livePostings {
+		return n.compacted()
+	}
+	n.rebuildBySize()
+	return n
+}
+
+// clone copies the mutable state into fresh backing arrays so the new
+// generation can be edited without disturbing readers of the old one.
+// Posting lists are always shared (appendTrees and compaction copy the ones
+// they touch); the map itself is cloned only when the caller will modify it
+// (clonePost) — a tombstoning generation shares it verbatim.
+func (s *TokenSnap) clone(clonePost bool) *TokenSnap {
+	post := s.post
+	if clonePost {
+		post = maps.Clone(post)
+	}
+	n := &TokenSnap{
+		tz:           s.tz,
+		trees:        append(make([]*tree.Tree, 0, len(s.trees)+1), s.trees...),
+		sizes:        append(make([]int32, 0, len(s.sizes)+1), s.sizes...),
+		bags:         append(make([]*tokenBag, 0, len(s.bags)+1), s.bags...),
+		dead:         append(make([]bool, 0, len(s.dead)+1), s.dead...),
+		nDead:        s.nDead,
+		posToSlot:    append(make([]int32, 0, len(s.posToSlot)+1), s.posToSlot...),
+		post:         post,
+		livePostings: s.livePostings,
+		deadPostings: s.deadPostings,
+		compactions:  s.compactions,
+	}
+	return n
+}
+
+// appendTrees assigns the next slots to ts and posts their full bags. fresh
+// tracks which posting lists this generation already owns (nil on the first
+// generation, whose lists are all its own).
+func (s *TokenSnap) appendTrees(ts []*tree.Tree, cache *Cache, fresh map[uint64]bool) {
+	tz := s.tz
+	bags := Cached(cache, tokenBagKey(tz), ts, func(t *tree.Tree) *tokenBag {
+		return buildBag(tz, t)
+	})
+	for i, t := range ts {
+		slot := int32(len(s.trees))
+		bag := bags[i]
+		s.trees = append(s.trees, t)
+		s.sizes = append(s.sizes, int32(t.Size()))
+		s.bags = append(s.bags, bag)
+		s.dead = append(s.dead, false)
+		s.posToSlot = append(s.posToSlot, slot)
+		for _, tc := range bag.toks {
+			list := s.post[tc.key]
+			if fresh != nil && !fresh[tc.key] {
+				// First touch of a shared list in this generation: copy it
+				// so readers of the parent snapshot keep theirs intact.
+				copied := make([]dynPosting, len(list), len(list)+1)
+				copy(copied, list)
+				list = copied
+				fresh[tc.key] = true
+			}
+			s.post[tc.key] = append(list, dynPosting{slot: slot, count: tc.count})
+			s.livePostings++
+		}
+	}
+}
+
+// compacted rebuilds a dense generation from the live slots, in position
+// order, dropping every tombstone. The bags are reused — no tree is
+// re-tokenised — and every live slot's full bag is re-posted, which is the
+// soundness argument: the rebuilt index is NewTokenSnap of the survivors.
+func (s *TokenSnap) compacted() *TokenSnap {
+	n := &TokenSnap{
+		tz:          s.tz,
+		post:        make(map[uint64][]dynPosting, len(s.post)),
+		compactions: s.compactions + 1,
+	}
+	for _, slot := range s.posToSlot {
+		nslot := int32(len(n.trees))
+		bag := s.bags[slot]
+		n.trees = append(n.trees, s.trees[slot])
+		n.sizes = append(n.sizes, s.sizes[slot])
+		n.bags = append(n.bags, bag)
+		n.dead = append(n.dead, false)
+		n.posToSlot = append(n.posToSlot, nslot)
+		for _, tc := range bag.toks {
+			n.post[tc.key] = append(n.post[tc.key], dynPosting{slot: nslot, count: tc.count})
+			n.livePostings++
+		}
+	}
+	n.rebuildBySize()
+	return n
+}
+
+// rebuildBySize re-sorts the live slots by (size, slot) for the light
+// probe's window scans. O(n log n) per mutation batch — noise next to the
+// posting work at corpus scale.
+func (s *TokenSnap) rebuildBySize() {
+	s.bySize = s.bySize[:0]
+	s.bySize = append(s.bySize, s.posToSlot...)
+	sort.Slice(s.bySize, func(a, b int) bool {
+		sa, sb := s.bySize[a], s.bySize[b]
+		if s.sizes[sa] != s.sizes[sb] {
+			return s.sizes[sa] < s.sizes[sb]
+		}
+		return sa < sb
+	})
+}
+
+// covers reports whether the snapshot's live trees are exactly ts, in
+// order. The corpus passes the same state to both the join and the
+// provider, so this holds by construction; the check keeps a mismatched
+// provider from producing silently wrong candidates.
+func (s *TokenSnap) covers(ts []*tree.Tree) bool {
+	if len(ts) != len(s.posToSlot) {
+		return false
+	}
+	for i, slot := range s.posToSlot {
+		if s.trees[slot] != ts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// probe offers every candidate pair of the collection through px, walking
+// the persistent lists instead of building a per-run index. The collection
+// must be covered by the snapshot (checked by the source). Each unordered
+// pair is offered at most once, at its later tree in the ascending-size
+// order, exactly like the per-run source — so downstream filtering,
+// verification, and results are identical.
+func (s *TokenSnap) probe(px *Pipeline) {
+	c := px.Collection()
+	stats := px.Stats()
+	start := time.Now()
+
+	ctau := s.tz.Slack() * c.Tau
+	budget := int32(ctau + 1)
+	// slotToPos inverts the position contract for partner remapping.
+	slotToPos := make([]int32, len(s.trees))
+	for i, slot := range s.posToSlot {
+		slotToPos[slot] = int32(i)
+	}
+	// stamp dedups partners within one probe: a partner sharing several
+	// prefix tokens is offered once.
+	stamp := make([]int32, len(s.trees))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var scratch []scratchTok
+	for ord, ti := range c.Order {
+		if px.Cancelled() {
+			break
+		}
+		slot := s.posToSlot[ti]
+		bag := s.bags[slot]
+		sz := int32(c.Trees[ti].Size())
+		minSz := sz - int32(c.Tau)
+		if int(bag.total) <= ctau {
+			// Light probe: a qualifying partner may share no token, so scan
+			// the whole size window. Partners after the probe in the
+			// canonical (size, position) order are skipped — they will offer
+			// the pair when they probe.
+			lo := sort.Search(len(s.bySize), func(k int) bool {
+				return s.sizes[s.bySize[k]] >= minSz
+			})
+			for _, pslot := range s.bySize[lo:] {
+				szj := s.sizes[pslot]
+				if szj > sz {
+					break
+				}
+				pj := slotToPos[pslot]
+				if szj == sz && pj >= int32(ti) {
+					continue
+				}
+				px.Offer(ti, int(pj))
+			}
+		} else {
+			// Heavy probe: walk the posting lists of the rarest Cτ+1
+			// expanded elements of the probe's bag. Any such subset contains
+			// at least one token a ≤ τ partner matches (≤ Cτ elements can go
+			// unmatched), and matched tokens carry the partner in their full
+			// posting list — so one hit suffices and the count threshold is
+			// ≥ 1 under this orientation.
+			scratch = scratch[:0]
+			for _, tc := range bag.toks {
+				scratch = append(scratch, scratchTok{freq: int64(len(s.post[tc.key])), key: tc.key, count: tc.count})
+			}
+			head := scratch
+			if int(budget) < len(scratch) {
+				selectSmallest(scratch, int(budget))
+				head = scratch[:budget]
+			}
+			var taken int32
+			for _, pt := range head {
+				if taken >= budget {
+					break
+				}
+				cnt := pt.count
+				if room := budget - taken; cnt > room {
+					cnt = room
+				}
+				taken += cnt
+				for _, p := range s.post[pt.key] {
+					if s.dead[p.slot] {
+						stats.PostingsTombstoned++
+						continue
+					}
+					if p.slot == slot {
+						continue
+					}
+					szj := s.sizes[p.slot]
+					if szj < minSz || szj > sz {
+						continue
+					}
+					stats.PostingsScanned++
+					pj := slotToPos[p.slot]
+					if szj == sz && pj >= int32(ti) {
+						continue
+					}
+					if stamp[p.slot] == int32(ord) {
+						continue
+					}
+					stamp[p.slot] = int32(ord)
+					px.Offer(ti, int(pj))
+				}
+			}
+		}
+	}
+	stats.CandTime += time.Since(start)
+}

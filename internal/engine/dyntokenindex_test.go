@@ -1,0 +1,170 @@
+package engine_test
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"testing"
+
+	"treejoin/internal/engine"
+	"treejoin/internal/tree"
+)
+
+// dynJob wires a Job whose token-index source probes snap instead of
+// building a per-run index, mirroring what a dynamic corpus does.
+func dynJob(tz engine.Tokenizer, snap *engine.TokenSnap, tau int) engine.Job {
+	return engine.Job{
+		Tau:       tau,
+		Source:    engine.TokenIndex(tz),
+		DynTokens: func(engine.Tokenizer) *engine.TokenSnap { return snap },
+	}
+}
+
+// TestDynTokenSnapOracle: probing a persistent snapshot produces exactly the
+// sorted loop's result set — every tokenizer, thresholds from exact matching
+// through bag-saturating, light trees included — and Stats reports the
+// dynamic source.
+func TestDynTokenSnapOracle(t *testing.T) {
+	ts := mixedCorpus(60, 7)
+	for _, tz := range testTokenizers() {
+		snap := engine.NewTokenSnap(tz, ts, nil)
+		for _, tau := range []int{0, 1, 2, 4, 8} {
+			want, _ := (engine.Job{Tau: tau}).SelfJoin(ts)
+			got, st := dynJob(tz, snap, tau).SelfJoin(ts)
+			label := fmt.Sprintf("%s τ=%d", tz.Name(), tau)
+			equalPairs(t, label, got, want)
+			if !strings.HasPrefix(st.Source, "dyn-token-index(") {
+				t.Fatalf("%s: source = %q, want dyn-token-index", label, st.Source)
+			}
+		}
+	}
+}
+
+// TestDynTokenSnapMutations: a snapshot maintained by WithAdded/WithRemoved
+// answers every join exactly like an index freshly built over the survivors,
+// tombstoned postings are counted and skipped, and an old generation keeps
+// answering for its own membership (immutability under later mutations).
+func TestDynTokenSnapMutations(t *testing.T) {
+	pool := mixedCorpus(80, 13)
+	for _, tz := range testTokenizers() {
+		live := slices.Clone(pool[:60])
+		snap := engine.NewTokenSnap(tz, live, nil)
+		frozenLive := slices.Clone(live)
+		frozen := snap
+
+		step := 0
+		apply := func(removePos []int, add []*tree.Tree) {
+			step++
+			if len(removePos) > 0 {
+				snap = snap.WithRemoved(removePos)
+				slices.Sort(removePos)
+				for i := len(removePos) - 1; i >= 0; i-- {
+					live = slices.Delete(live, removePos[i], removePos[i]+1)
+				}
+			}
+			if len(add) > 0 {
+				snap = snap.WithAdded(add, nil)
+				live = append(live, add...)
+			}
+			if snap.Live() != len(live) {
+				t.Fatalf("%s step %d: snap.Live() = %d, want %d", tz.Name(), step, snap.Live(), len(live))
+			}
+			for _, tau := range []int{0, 1, 2, 4} {
+				want, _ := (engine.Job{Tau: tau}).SelfJoin(live)
+				got, st := dynJob(tz, snap, tau).SelfJoin(live)
+				label := fmt.Sprintf("%s step %d τ=%d", tz.Name(), step, tau)
+				equalPairs(t, label, got, want)
+				if !strings.HasPrefix(st.Source, "dyn-token-index(") {
+					t.Fatalf("%s: source = %q, want dyn-token-index", label, st.Source)
+				}
+				if snap.Tombstones() > 0 && tau > 0 && st.PostingsTombstoned == 0 {
+					// With tombstones present, a probing join generally
+					// crosses some of them; assert the counter is wired at
+					// least once per tokenizer.
+					t.Logf("%s: no tombstoned postings crossed (ok, but unusual)", label)
+				}
+			}
+		}
+
+		apply([]int{3, 17, 40, 55}, nil)       // plain removals
+		apply(nil, pool[60:70])                // appends extend the lists
+		apply([]int{0, 1, 2, 5, 9}, pool[70:]) // mixed batch
+
+		// The frozen first generation still answers for its own membership.
+		want, _ := (engine.Job{Tau: 2}).SelfJoin(frozenLive)
+		got, _ := dynJob(tz, frozen, 2).SelfJoin(frozenLive)
+		equalPairs(t, tz.Name()+" frozen generation", got, want)
+		if frozen.Tombstones() != 0 || frozen.Live() != len(frozenLive) {
+			t.Fatalf("%s: frozen generation mutated: live=%d tombstones=%d", tz.Name(), frozen.Live(), frozen.Tombstones())
+		}
+	}
+}
+
+// TestDynTokenSnapCompaction: removing most of the collection pushes the
+// tombstoned share past the ratio, the lists compact (no tombstones
+// remain), and the compacted generation still produces the oracle results.
+func TestDynTokenSnapCompaction(t *testing.T) {
+	pool := mixedCorpus(100, 29)
+	for _, tz := range testTokenizers() {
+		live := slices.Clone(pool)
+		snap := engine.NewTokenSnap(tz, live, nil)
+		removePos := make([]int, 0, 60)
+		for p := 0; p < 60; p++ {
+			removePos = append(removePos, p)
+		}
+		snap = snap.WithRemoved(removePos)
+		live = slices.Clone(live[60:])
+		if snap.Compactions() == 0 {
+			t.Fatalf("%s: removing 60/100 trees did not compact", tz.Name())
+		}
+		if snap.Tombstones() != 0 {
+			t.Fatalf("%s: %d tombstones survived compaction", tz.Name(), snap.Tombstones())
+		}
+		if _, dead := snap.Postings(); dead != 0 {
+			t.Fatalf("%s: %d dead postings survived compaction", tz.Name(), dead)
+		}
+		for _, tau := range []int{0, 2} {
+			want, _ := (engine.Job{Tau: tau}).SelfJoin(live)
+			got, st := dynJob(tz, snap, tau).SelfJoin(live)
+			equalPairs(t, fmt.Sprintf("%s compacted τ=%d", tz.Name(), tau), got, want)
+			if st.PostingsTombstoned != 0 {
+				t.Fatalf("%s: compacted probe crossed %d tombstones", tz.Name(), st.PostingsTombstoned)
+			}
+		}
+	}
+}
+
+// TestDynTokenSnapCoverage: a snapshot that does not cover the run's
+// collection — wrong trees, wrong order, or a cross join — must be ignored
+// in favor of the per-run paths, leaving results correct and the source
+// honest.
+func TestDynTokenSnapCoverage(t *testing.T) {
+	ts := mixedCorpus(60, 31)
+	tz := testTokenizers()[0]
+	stale := engine.NewTokenSnap(tz, ts[:59], nil)
+	want, _ := (engine.Job{Tau: 2}).SelfJoin(ts)
+	got, st := dynJob(tz, stale, 2).SelfJoin(ts)
+	equalPairs(t, "stale snapshot", got, want)
+	if strings.HasPrefix(st.Source, "dyn-") {
+		t.Fatalf("stale snapshot was probed: source = %q", st.Source)
+	}
+
+	reordered := slices.Clone(ts)
+	reordered[0], reordered[1] = reordered[1], reordered[0]
+	shuffled := engine.NewTokenSnap(tz, reordered, nil)
+	got, st = dynJob(tz, shuffled, 2).SelfJoin(ts)
+	equalPairs(t, "reordered snapshot", got, want)
+	if strings.HasPrefix(st.Source, "dyn-") {
+		t.Fatalf("reordered snapshot was probed: source = %q", st.Source)
+	}
+
+	// Cross joins never probe a dynamic snapshot (it has no side split).
+	a, b := ts[:30], ts[30:]
+	crossWant, _ := (engine.Job{Tau: 2}).Join(a, b)
+	full := engine.NewTokenSnap(tz, append(slices.Clone(a), b...), nil)
+	crossGot, cst := dynJob(tz, full, 2).Join(a, b)
+	equalPairs(t, "cross join", crossGot, crossWant)
+	if strings.HasPrefix(cst.Source, "dyn-") {
+		t.Fatalf("cross join probed a dynamic snapshot: source = %q", cst.Source)
+	}
+}

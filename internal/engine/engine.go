@@ -53,10 +53,22 @@ type Collection struct {
 	// their default task count.
 	Workers int
 
-	ctx      context.Context
-	cache    *Cache
-	sizes    []int // sizes in Order order, for binary-searching the window
-	counters *ted.Counters
+	ctx       context.Context
+	cache     *Cache
+	sizes     []int // sizes in Order order, for binary-searching the window
+	counters  *ted.Counters
+	dynTokens func(Tokenizer) *TokenSnap
+}
+
+// DynTokenSnap resolves the run's persistent token-index snapshot for tz, or
+// nil when the run is not backed by a dynamic corpus (or the corpus chose
+// not to materialise one). Sources must still verify the snapshot covers the
+// collection before probing it.
+func (c *Collection) DynTokenSnap(tz Tokenizer) *TokenSnap {
+	if c.dynTokens == nil {
+		return nil
+	}
+	return c.dynTokens(tz)
 }
 
 // Cancelled reports whether the run's context has been cancelled — by the
@@ -95,12 +107,12 @@ func (c *Collection) WindowStart(sz int) int {
 	return sort.SearchInts(c.sizes, min)
 }
 
-func newCollection(ctx context.Context, ts []*tree.Tree, split, tau, workers int, cache *Cache) *Collection {
+func newCollection(ctx context.Context, ts []*tree.Tree, split, tau, workers int, cache *Cache, dynTokens func(Tokenizer) *TokenSnap) *Collection {
 	workers = sim.NormalizeWorkers(workers)
 	if cache == nil {
 		cache = NewCache()
 	}
-	c := &Collection{Trees: ts, Split: split, Tau: tau, Workers: workers, ctx: ctx, cache: cache, counters: new(ted.Counters)}
+	c := &Collection{Trees: ts, Split: split, Tau: tau, Workers: workers, ctx: ctx, cache: cache, counters: new(ted.Counters), dynTokens: dynTokens}
 	c.Order = sim.SizeOrder(ts)
 	c.sizes = make([]int, len(c.Order))
 	for p, ti := range c.Order {
@@ -307,6 +319,12 @@ type Job struct {
 	// looked up there before being recomputed. nil gives the run a private
 	// cache.
 	Cache *Cache
+	// DynTokens, when non-nil, resolves a persistent token-index snapshot
+	// for a tokenizer (a dynamic corpus's maintained inverted index). The
+	// token-index source probes the snapshot instead of building a per-run
+	// index when the snapshot covers exactly the run's collection; results
+	// are identical either way.
+	DynTokens func(Tokenizer) *TokenSnap
 }
 
 // SelfJoin runs the job over one collection and reports every unordered pair
@@ -378,7 +396,7 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 		source = SortedLoop()
 	}
 	em := &emitter{sink: sink, split: split, cancel: cancel}
-	c := newCollection(ctx, ts, split, job.Tau, job.Workers, job.Cache)
+	c := newCollection(ctx, ts, split, job.Tau, job.Workers, job.Cache, job.DynTokens)
 
 	// Prepare the filter chain once over the combined collection; stage
 	// preparation time is candidate-generation effort. One stage's
@@ -542,6 +560,7 @@ func mergeStats(total, st *sim.Stats) {
 	total.IndexBuildTime += st.IndexBuildTime
 	total.PostingsScanned += st.PostingsScanned
 	total.SkippedByCount += st.SkippedByCount
+	total.PostingsTombstoned += st.PostingsTombstoned
 	if st.Source != "" {
 		// A task reported the source that effectively ran (the token index
 		// stamping its sorted-loop fallback); it overrides the configured one.

@@ -112,10 +112,13 @@ func (s tokenIndexSource) Tasks(c *Collection, shards int) []Task {
 	// tiny collections, thresholds covering every size window, or a C·τ
 	// slack that swallows even the largest tree's bag (bags are
 	// size-monotone, so the largest tree's bag is the maximum — if it is
-	// light, every tree is, and the index degenerates to the light-list
-	// scan, a worse sorted loop). The largest bag is read through the cache,
-	// so the probe task reuses the tokenisation when the index does run
-	// later at another threshold.
+	// light, every tree is, and any token index degenerates to a light-list
+	// scan, a worse sorted loop). The check precedes the dynamic-snapshot
+	// branch on purpose: in the degenerate regime a maintained index is just
+	// as useless as a per-run one, and skipping the provider here keeps a
+	// dynamic corpus from ever materialising one for it. The largest bag is
+	// read through the cache, so the probe task reuses the tokenisation when
+	// the index does run later at another threshold.
 	largest := c.Trees[c.Order[len(c.Order)-1]]
 	if len(c.Order) < TokenIndexMinTrees || c.Tau >= largest.Size() ||
 		int(s.cachedBag(c, largest).total) <= s.tz.Slack()*c.Tau {
@@ -130,6 +133,17 @@ func (s tokenIndexSource) Tasks(c *Collection, shards int) []Task {
 			}
 		}
 		return tasks
+	}
+	// A dynamic corpus maintains a persistent full-bag index across joins;
+	// probing it skips the per-run build entirely. The covers check pins the
+	// snapshot to exactly this collection (same trees, same positions), so a
+	// stale or foreign snapshot can never produce wrong candidates — the run
+	// just falls through to the per-run index below.
+	if snap := c.DynTokenSnap(s.tz); snap != nil && !c.Cross() && snap.covers(c.Trees) {
+		return []Task{func(px *Pipeline) {
+			px.Stats().Source = "dyn-" + s.Name()
+			snap.probe(px)
+		}}
 	}
 	// The probe/insert loop shares one index, so candidate generation is a
 	// single sequential task; the engine still parallelises verification.

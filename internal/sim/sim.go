@@ -88,6 +88,17 @@ type Stats struct {
 	PostingsScanned int64         // posting-list entries inspected while probing
 	SkippedByCount  int64         // partners discarded because their shared-token count proved the bound unreachable
 
+	// PostingsTombstoned counts posting-list entries skipped because they
+	// referenced removed trees — the probe-side cost of a dynamic corpus's
+	// tombstone scheme, paid until compaction rewrites the lists (zero for
+	// static corpora and per-run indexes, which never tombstone).
+	PostingsTombstoned int64
+
+	// PairsRetracted counts result pairs withdrawn from a standing
+	// incremental result set because one of their trees was removed (see
+	// Incremental.Retracted); zero for one-shot joins.
+	PairsRetracted int64
+
 	// τ-banded verifier counters, recorded by the default threshold-aware
 	// TED verifier (zero when a custom Verifier decided the candidates; see
 	// internal/ted and DESIGN.md, "Threshold-aware verification").

@@ -430,6 +430,19 @@ func (inc *Incremental) Remove(i int) bool { return inc.inner.Remove(i) }
 // the replacement's new position and its join partners among the live trees.
 func (inc *Incremental) Update(i int, t *Tree) (int, []Pair) { return inc.inner.Update(i, t) }
 
+// Pairs returns the standing result set: every pair some Add reported whose
+// trees are both still live, in ascending (I, J) order — the self-join of
+// the live trees at the stream's threshold, maintained across arbitrary
+// Add/Remove/Update sequences without ever re-joining.
+func (inc *Incremental) Pairs() []Pair { return inc.inner.Pairs() }
+
+// Retracted drains the retraction delta: the standing pairs withdrawn by
+// Remove (and Update) calls since the previous drain, in ascending (I, J)
+// order. Together with Add's returned pairs it forms the full delta stream
+// of the standing result — a consumer applying both mirrors Pairs() exactly;
+// Stats().PairsRetracted counts the retractions cumulatively.
+func (inc *Incremental) Retracted() []Pair { return inc.inner.Retracted() }
+
 // Len returns the number of trees added so far, including removed ones.
 func (inc *Incremental) Len() int { return inc.inner.Len() }
 

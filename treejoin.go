@@ -16,15 +16,18 @@
 // as are the survey's other filters (HIST statistics histograms, EUL Euler
 // strings) and a brute-force oracle.
 //
-// The primary entry point is the Corpus: construct it once over a
-// collection, then run the whole query family off it — thresholded self and
-// cross joins (SelfJoin, Join), similarity search (Search), top-k closest
-// pairs (TopK), k-nearest neighbours (KNN), and a streaming join with
-// inserts, deletes and updates (Incremental). The corpus caches every
-// per-tree filter signature the first query computes, so later queries — at
-// any threshold, with any method — skip that work; every query takes a
-// context for cancellation, and the Seq variants stream verified pairs with
-// constant result memory. The original free functions (SelfJoin, Join,
+// The primary entry point is the Corpus: construct it over a collection,
+// then run the whole query family off it — thresholded self and cross joins
+// (SelfJoin, Join), similarity search (Search), top-k closest pairs (TopK),
+// k-nearest neighbours (KNN), and a streaming join with inserts, deletes and
+// updates (Incremental). The corpus is fully dynamic: Add and Remove mutate
+// it in place under epoch-versioned copy-on-write snapshots, keeping cached
+// signatures, search indexes, and token inverted indexes live (removals
+// tombstone and compact) while in-flight queries stay consistent. The corpus
+// caches every per-tree filter signature the first query computes, so later
+// queries — at any threshold, with any method — skip that work; every query
+// takes a context for cancellation, and the Seq variants stream verified
+// pairs with constant result memory. The original free functions (SelfJoin, Join,
 // NewIndex, TopK, NewKNN) remain as deprecated one-shot wrappers.
 //
 // Also here: subtree search inside one large tree (SubtreeSearch), exact
