@@ -6,6 +6,7 @@
 //	treejoin -input trees.txt -tau 2 [-method PRT|STR|SET|BF|HIST|EUL|PQG]
 //	         [-prefilter HIST,SET] [-workers 4] [-shards 4] [-timeout 30s]
 //	         [-format bracket|newick|binary] [-stats] [-quiet]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	treejoin -input a.txt -other b.txt -tau 2
 //	treejoin -input trees.txt -topk 10
 //	treejoin -watch -tau 2 [-input seed.txt] < mutations.txt
@@ -50,8 +51,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"treejoin"
@@ -60,26 +64,33 @@ import (
 
 func main() {
 	var (
-		input     = flag.String("input", "", "dataset file (required)")
-		other     = flag.String("other", "", "second dataset file: cross join -input against -other")
-		format    = flag.String("format", "auto", "input format: bracket, newick, binary, or auto")
-		tau       = flag.Int("tau", 1, "TED threshold τ ≥ 0")
-		topk      = flag.Int("topk", 0, "report the K closest pairs instead of a threshold join")
-		method    = flag.String("method", "PRT", "join method: PRT, STR, SET, BF, HIST, EUL, or PQG")
-		prefilter = flag.String("prefilter", "", "comma-separated filter stages to chain in front of the method (HIST, STR, SET, EUL, PQG)")
-		workers   = flag.Int("workers", 0, "parallel candidate-generation and TED-verification workers")
-		shards    = flag.Int("shards", 0, "decompose the PRT join into fragment-and-replicate shards")
-		timeout   = flag.Duration("timeout", 0, "abort the join after this duration (0: no limit)")
-		stats     = flag.Bool("stats", false, "print execution statistics to stderr")
-		quiet     = flag.Bool("quiet", false, "suppress pair output (useful with -stats)")
-		watch     = flag.Bool("watch", false, "read mutations (bracket tree to add, -N to remove id N) from stdin and emit join deltas")
+		input      = flag.String("input", "", "dataset file (required)")
+		other      = flag.String("other", "", "second dataset file: cross join -input against -other")
+		format     = flag.String("format", "auto", "input format: bracket, newick, binary, or auto")
+		tau        = flag.Int("tau", 1, "TED threshold τ ≥ 0")
+		topk       = flag.Int("topk", 0, "report the K closest pairs instead of a threshold join")
+		method     = flag.String("method", "PRT", "join method: PRT, STR, SET, BF, HIST, EUL, or PQG")
+		prefilter  = flag.String("prefilter", "", "comma-separated filter stages to chain in front of the method (HIST, STR, SET, EUL, PQG)")
+		workers    = flag.Int("workers", 0, "parallel candidate-generation and TED-verification workers")
+		shards     = flag.Int("shards", 0, "decompose the PRT join into fragment-and-replicate shards")
+		timeout    = flag.Duration("timeout", 0, "abort the join after this duration (0: no limit)")
+		stats      = flag.Bool("stats", false, "print execution statistics to stderr")
+		quiet      = flag.Bool("quiet", false, "suppress pair output (useful with -stats)")
+		watch      = flag.Bool("watch", false, "read mutations (bracket tree to add, -N to remove id N) from stdin and emit join deltas")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
+		fail("%v", err)
+	}
+	defer stopProfiles()
 	if *watch {
 		runWatch(*input, *format, *tau, *topk, *other, *method, *prefilter, *shards, *workers, *timeout, *stats, *quiet)
 		return
 	}
 	if *input == "" {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "treejoin: -input is required")
 		flag.Usage()
 		os.Exit(2)
@@ -212,6 +223,7 @@ func main() {
 		printStats(m, *tau, st)
 	}
 	if interrupted {
+		stopProfiles()
 		os.Exit(1)
 	}
 }
@@ -231,8 +243,8 @@ func printStats(m treejoin.Method, tau int, st treejoin.Stats) {
 	// wall is what the user waited for the candidate stage.
 	fmt.Fprintf(os.Stderr, "candgen:     %v cpu, %v wall\n", st.CandTime+st.PartitionTime, st.CandWall)
 	fmt.Fprintf(os.Stderr, "verify:      %v\n", st.VerifyTime)
-	fmt.Fprintf(os.Stderr, "verifier:    %d DPs avoided, %d keyroots skipped, %d band aborts\n",
-		st.DPAvoided, st.KeyrootsSkipped, st.BandAborts)
+	fmt.Fprintf(os.Stderr, "verifier:    %d DPs avoided, %d keyroots skipped, %d band aborts, strategy %dL/%dR\n",
+		st.DPAvoided, st.KeyrootsSkipped, st.BandAborts, st.StrategyLeft, st.StrategyRight)
 	fmt.Fprintf(os.Stderr, "total:       %v cpu\n", st.Total())
 	for _, stage := range st.Stages {
 		fmt.Fprintf(os.Stderr, "stage %-6s %d in, %d pruned, %d out\n",
@@ -392,11 +404,64 @@ loop:
 	}
 	if interrupted {
 		out.Flush()
+		stopProfiles()
 		os.Exit(1)
 	}
 }
 
+// stopProfiles finalises whatever -cpuprofile/-memprofile started. Explicit
+// os.Exit sites (fail, the interrupted-run exits) bypass main's defers, so
+// every one of them calls it directly; it is idempotent and a no-op when no
+// profiling was requested.
+var stopProfiles = func() {}
+
+// startProfiles begins CPU profiling (when cpu is non-empty) and installs the
+// finaliser into stopProfiles: stop and flush the CPU profile, then write the
+// heap allocation profile (when mem is non-empty) after a final GC so the
+// numbers reflect live retention, not collection timing.
+func startProfiles(cpu, mem string) error {
+	if cpu == "" && mem == "" {
+		return nil
+	}
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuF = f
+	}
+	var once sync.Once
+	stopProfiles = func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if mem == "" {
+				return
+			}
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "treejoin: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "treejoin: memprofile: %v\n", err)
+			}
+			f.Close()
+		})
+	}
+	return nil
+}
+
 func fail(format string, args ...any) {
+	stopProfiles()
 	fmt.Fprintf(os.Stderr, "treejoin: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -324,6 +324,16 @@ func (cp *Corpus) Add(ts ...*Tree) ([]int, error) {
 	for name, e := range st.tokidx {
 		ns.tokidx[name] = dynEntry{tz: e.tz, snap: e.snap.WithAdded(ts, cp.cache)}
 	}
+	// Keep the arena views live the way the token index is kept live: once a
+	// join has paid to flatten the collection (the kind is populated), each
+	// Add flattens just its batch, so the next join's verifier finds every
+	// tree warm instead of rebuilding views for the whole membership. A
+	// corpus that never joined (or only ever used custom verifiers) skips
+	// this — the artifact would be pure speculation. Removal needs no
+	// counterpart: Remove's Evict drops every kind, arenas included.
+	if cp.cache.KindEntries(engine.ArenaKey) > 0 {
+		engine.ArenaFor(cp.cache, ts)
+	}
 	cp.state.Store(ns)
 	cp.dropSearchers(ns.epoch)
 	return ids, nil

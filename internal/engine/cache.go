@@ -71,6 +71,20 @@ func (c *Cache) Stats() CacheStats {
 	return st
 }
 
+// KindEntries returns how many trees currently have an artifact of the given
+// kind — zero for a routed cache, which stores nothing locally. A dynamic
+// corpus reads it to decide whether to keep an artifact family warm on Add:
+// a kind that is populated has been paid for by a join, so maintaining it
+// beats letting the next join rebuild it for every tree.
+func (c *Cache) KindEntries(key string) int {
+	if c == nil || c.route != nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m[key])
+}
+
 // Lookup returns the artifact cached for (key, t). A miss is counted even
 // when the caller never stores a value back.
 func (c *Cache) Lookup(key string, t *tree.Tree) (any, bool) {

@@ -225,9 +225,12 @@ type Pipeline struct {
 	// to the emitter with peak candidate memory O(flushAt) instead of
 	// O(total candidates). Parallel jobs set flushAt = 0 and defer
 	// everything to one pool-wide pass, where the bigger batch
-	// load-balances better.
+	// load-balances better. The flush verifier is minted lazily from the
+	// run's factory and persists across flushes (so its scratch stays warm
+	// for the whole task); stream() closes it after the tasks finish.
 	flushAt    int
-	verifier   sim.Verifier
+	vfactory   sim.BatchVerifierFactory
+	bv         sim.BatchVerifier
 	em         *emitter
 	inlineTime time.Duration
 }
@@ -246,7 +249,10 @@ func (px *Pipeline) flushCandidates() {
 		return
 	}
 	start := time.Now()
-	sim.VerifyStream(px.c.ctx, px.c.Trees, px.cands, px.c.Tau, px.verifier, 1, &px.stats, px.em.emit)
+	if px.bv == nil {
+		px.bv = px.vfactory()
+	}
+	sim.VerifyStreamWith(px.c.ctx, px.cands, px.c.Tau, px.bv, &px.stats, px.em.emit)
 	px.cands = px.cands[:0]
 	px.inlineTime += time.Since(start)
 }
@@ -420,20 +426,23 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 	if verifier == nil && job.VerifierFor != nil {
 		verifier = job.VerifierFor(c)
 	}
-	if verifier == nil {
-		// The preparation is a τ-independent per-tree signature like any
+	var vfactory sim.BatchVerifierFactory
+	if verifier != nil {
+		// A custom verifier (a test's instrumentation, the unbanded
+		// ablation) runs through the same batched stage, adapted statelessly.
+		vfactory = sim.AdaptVerifier(ts, verifier)
+	} else {
+		// The arena views are τ-independent per-tree signatures like any
 		// filter's: compute (or warm-hit) every tree's now, so the corpus
 		// contract — a later join recomputes no per-tree signature — covers
-		// the verifier too, and per-candidate lookups stay lock-free. The
-		// decomposition arrays inside each Prep stay lazy; only pairs that
-		// reach a DP materialise them. Like a filter stage's preparation,
-		// this is an uncancellable unit — check the context first rather
-		// than starting work the caller abandoned.
+		// the verifier too, and per-candidate lookups stay lock-free. Like a
+		// filter stage's preparation, this is an uncancellable unit — check
+		// the context first rather than starting work the caller abandoned.
 		if err := outer.Err(); err != nil {
 			return stats, err
 		}
 		vstart := time.Now()
-		verifier = tedVerifierOver(ts, c.cache, c.counters)
+		vfactory = NewArenaVerifiers(ts, c.cache, c.counters)
 		stats.VerifyTime += time.Since(vstart)
 	}
 	flushAt := 0
@@ -458,7 +467,7 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 			preds:    preds,
 			counts:   make([]sim.StageStats, len(job.Filters)),
 			flushAt:  flushAt,
-			verifier: verifier,
+			vfactory: vfactory,
 			em:       em,
 		}
 		for k, f := range job.Filters {
@@ -491,13 +500,18 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 			stats.Stages[k].In += px.counts[k].In
 			stats.Stages[k].Pruned += px.counts[k].Pruned
 		}
+		if px.bv != nil {
+			px.bv.Close()
+		}
 	}
 	stats.CandWall += tasksWall - inline
-	sim.VerifyStream(ctx, ts, cands, job.Tau, verifier, c.Workers, stats, em.emit)
+	sim.VerifyStreamBatched(ctx, cands, job.Tau, vfactory, c.Workers, stats, em.emit)
 	stats.Results = em.n
 	stats.DPAvoided += c.counters.DPAvoided.Load()
 	stats.KeyrootsSkipped += c.counters.KeyrootsSkipped.Load()
 	stats.BandAborts += c.counters.BandAborts.Load()
+	stats.StrategyLeft += c.counters.StrategyLeft.Load()
+	stats.StrategyRight += c.counters.StrategyRight.Load()
 	if err := outer.Err(); err != nil {
 		return stats, err
 	}

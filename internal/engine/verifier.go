@@ -35,27 +35,73 @@ func NewTEDVerifier(c *Cache, tc *ted.Counters) sim.Verifier {
 	}
 }
 
-// tedVerifierOver is NewTEDVerifier specialised to a fixed collection: the
-// preparations are resolved through the cache once, up front, and the
-// verifier reads them from an immutable map — lock-free on the hot parallel
-// verify path, where two mutex-guarded cache lookups per candidate would
-// serialise the workers the banding just unblocked. Trees outside the
-// collection fall back to the cache.
-func tedVerifierOver(ts []*tree.Tree, c *Cache, tc *ted.Counters) sim.Verifier {
-	preps := Cached(c, prepKey, ts, ted.NewPrep)
-	byTree := make(map[*tree.Tree]*ted.Prep, len(ts))
-	for i, t := range ts {
-		byTree[t] = preps[i]
+// ArenaKey names the per-tree struct-of-arrays verification view in the
+// corpus cache (ted.TreeView): the postorder label/lml arrays of both
+// decompositions, keyroots in both orders, structural arrays, sorted labels,
+// and strategy costs. τ-independent like every signature, so a warm corpus
+// verifies any later join out of the same arenas.
+const ArenaKey = "ted/arena"
+
+// ArenaFor returns the arena views of the collection, in order, serving each
+// tree from the cache and flattening the misses in one contiguous BuildViews
+// batch (the arena's locality comes from batching; per-tree builds would
+// scatter the blocks). A nil cache degrades to a plain batch build.
+func ArenaFor(c *Cache, ts []*tree.Tree) []*ted.TreeView {
+	if c == nil {
+		return ted.BuildViews(ts)
 	}
-	return func(t1, t2 *tree.Tree, tau int) (int, bool) {
-		p1, p2 := byTree[t1], byTree[t2]
-		if p1 == nil {
-			p1 = PrepFor(c, t1)
+	out := make([]*ted.TreeView, len(ts))
+	var missing []int
+	for i, t := range ts {
+		if v, ok := c.Lookup(ArenaKey, t); ok {
+			out[i] = v.(*ted.TreeView)
+		} else {
+			missing = append(missing, i)
 		}
-		if p2 == nil {
-			p2 = PrepFor(c, t2)
-		}
-		return ted.DistanceBoundedPrep(p1, p2, tau, tc)
+	}
+	if len(missing) == 0 {
+		return out
+	}
+	mts := make([]*tree.Tree, len(missing))
+	for k, i := range missing {
+		mts[k] = ts[i]
+	}
+	built := ted.BuildViews(mts)
+	for k, i := range missing {
+		out[i] = built[k]
+		c.Store(ArenaKey, ts[i], built[k])
+	}
+	return out
+}
+
+// arenaVerifier is one worker's batched arena verification context: the
+// collection's views resolved once at construction (lock-free per candidate —
+// a mutex-guarded cache lookup per pair would serialise the workers), plus
+// the worker-private DP scratch that makes every VerifyPair allocation-free.
+type arenaVerifier struct {
+	views []*ted.TreeView
+	s     *ted.VerifyScratch
+	tc    *ted.Counters
+}
+
+func (v *arenaVerifier) VerifyPair(i, j, tau int) (int, bool) {
+	return ted.DistanceBoundedView(v.views[i], v.views[j], tau, v.s, v.tc)
+}
+
+func (v *arenaVerifier) Close() {
+	ted.ReleaseScratch(v.s)
+	v.s = nil
+}
+
+// NewArenaVerifiers builds the default batched verifier factory over a fixed
+// collection: arena views are resolved through the cache once, up front, and
+// every minted verifier shares them, adding only a pooled per-worker scratch.
+// tc, when non-nil, accumulates pruning and strategy counters across all
+// workers; the engine folds them into the run's Stats.
+func NewArenaVerifiers(ts []*tree.Tree, c *Cache, tc *ted.Counters) sim.BatchVerifierFactory {
+	views := ArenaFor(c, ts)
+	return func() sim.BatchVerifier {
+		return &arenaVerifier{views: views, s: ted.AcquireScratch(), tc: tc}
 	}
 }
 

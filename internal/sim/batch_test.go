@@ -1,0 +1,177 @@
+package sim_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"treejoin/internal/sim"
+	"treejoin/internal/tree"
+)
+
+// recordingFactory wraps AdaptVerifier-style verification with mint/close
+// accounting, so the tests can assert the batched stage's verifier lifecycle:
+// every minted per-worker verifier is closed exactly once, on every path.
+type recordingFactory struct {
+	ts     []*tree.Tree
+	mu     sync.Mutex
+	minted int
+	closed int
+}
+
+type recordingVerifier struct {
+	f *recordingFactory
+}
+
+func (v recordingVerifier) VerifyPair(i, j, tau int) (int, bool) {
+	return sim.DefaultVerifier(v.f.ts[i], v.f.ts[j], tau)
+}
+
+func (v recordingVerifier) Close() {
+	v.f.mu.Lock()
+	v.f.closed++
+	v.f.mu.Unlock()
+}
+
+func (f *recordingFactory) factory() sim.BatchVerifier {
+	f.mu.Lock()
+	f.minted++
+	f.mu.Unlock()
+	return recordingVerifier{f: f}
+}
+
+func batchFixture(t *testing.T) ([]*tree.Tree, []sim.Candidate) {
+	t.Helper()
+	lt := tree.NewLabelTable()
+	specs := []string{
+		"{a{b}{c}}", "{a{b}{d}}", "{a{b}}", "{x{y{z}}}", "{x{y}}",
+		"{a{b}{c{d}}}", "{q}", "{a{c}{b}}", "{x{z{y}}}", "{a{b}{c}{d}}",
+	}
+	ts := make([]*tree.Tree, len(specs))
+	for i, s := range specs {
+		ts[i] = tree.MustParseBracket(s, lt)
+	}
+	var cands []sim.Candidate
+	for i := range ts {
+		for j := i + 1; j < len(ts); j++ {
+			cands = append(cands, sim.Candidate{I: i, J: j})
+		}
+	}
+	return ts, cands
+}
+
+// TestVerifyStreamBatchedMatchesSequential: the batched stage returns the
+// exact pair set of the sequential verifier at every worker count, and every
+// minted verifier is closed.
+func TestVerifyStreamBatchedMatchesSequential(t *testing.T) {
+	ts, cands := batchFixture(t)
+	for _, tau := range []int{0, 1, 3} {
+		var ref sim.Stats
+		want := sim.VerifyAll(ts, cands, tau, nil, 1, &ref)
+		sim.SortPairs(want)
+		for _, workers := range []int{1, 2, 8} {
+			rf := &recordingFactory{ts: ts}
+			var st sim.Stats
+			var got []sim.Pair
+			sim.VerifyStreamBatched(context.Background(), cands, tau, rf.factory, workers, &st, func(p sim.Pair) bool {
+				got = append(got, p)
+				return true
+			})
+			sim.SortPairs(got)
+			if len(got) != len(want) {
+				t.Fatalf("τ=%d w=%d: %d pairs, want %d", tau, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("τ=%d w=%d: pair %d = %v, want %v", tau, workers, i, got[i], want[i])
+				}
+			}
+			if st.Candidates != int64(len(cands)) {
+				t.Fatalf("τ=%d w=%d: candidates = %d, want %d", tau, workers, st.Candidates, len(cands))
+			}
+			if rf.minted == 0 || rf.minted != rf.closed {
+				t.Fatalf("τ=%d w=%d: minted %d verifiers, closed %d", tau, workers, rf.minted, rf.closed)
+			}
+		}
+	}
+}
+
+// TestVerifyStreamBatchedEarlyStop: a sink that stops the stream still gets
+// every minted verifier closed, and the stage stops delivering.
+func TestVerifyStreamBatchedEarlyStop(t *testing.T) {
+	ts, cands := batchFixture(t)
+	for _, workers := range []int{1, 4} {
+		rf := &recordingFactory{ts: ts}
+		var st sim.Stats
+		emitted := 0
+		sim.VerifyStreamBatched(context.Background(), cands, 4, rf.factory, workers, &st, func(sim.Pair) bool {
+			emitted++
+			return false
+		})
+		if emitted != 1 {
+			t.Fatalf("w=%d: emit called %d times after stop", workers, emitted)
+		}
+		if rf.minted == 0 || rf.minted != rf.closed {
+			t.Fatalf("w=%d: minted %d verifiers, closed %d", workers, rf.minted, rf.closed)
+		}
+	}
+}
+
+// TestVerifyStreamBatchedCancellation: a pre-cancelled context verifies
+// nothing but still balances the verifier lifecycle.
+func TestVerifyStreamBatchedCancellation(t *testing.T) {
+	ts, cands := batchFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		rf := &recordingFactory{ts: ts}
+		var st sim.Stats
+		sim.VerifyStreamBatched(ctx, cands, 4, rf.factory, workers, &st, func(sim.Pair) bool {
+			t.Fatal("emit after cancellation")
+			return false
+		})
+		if rf.minted != rf.closed {
+			t.Fatalf("w=%d: minted %d verifiers, closed %d", workers, rf.minted, rf.closed)
+		}
+	}
+}
+
+// TestVerifyStreamWith: the caller-owned inline form decides the same pairs
+// and accounts candidates, without closing the verifier it was lent.
+func TestVerifyStreamWith(t *testing.T) {
+	ts, cands := batchFixture(t)
+	rf := &recordingFactory{ts: ts}
+	v := rf.factory()
+	var st sim.Stats
+	var got []sim.Pair
+	// Two flushes over halves, as the engine's inline chunking drives it.
+	half := len(cands) / 2
+	for _, chunk := range [][]sim.Candidate{cands[:half], cands[half:]} {
+		sim.VerifyStreamWith(context.Background(), chunk, 3, v, &st, func(p sim.Pair) bool {
+			got = append(got, p)
+			return true
+		})
+	}
+	var ref sim.Stats
+	want := sim.VerifyAll(ts, cands, 3, nil, 1, &ref)
+	sim.SortPairs(want)
+	sim.SortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("%d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if st.Candidates != int64(len(cands)) {
+		t.Fatalf("candidates = %d, want %d", st.Candidates, len(cands))
+	}
+	if rf.closed != 0 {
+		t.Fatal("VerifyStreamWith closed the caller's verifier")
+	}
+	v.Close()
+	if rf.closed != 1 {
+		t.Fatalf("closed = %d after explicit Close", rf.closed)
+	}
+}

@@ -105,6 +105,13 @@ type Stats struct {
 	DPAvoided       int64 // candidates settled by the size/label lower bounds alone — full DPs avoided
 	KeyrootsSkipped int64 // keyroot-pair forest DPs pruned by the positional skip
 	BandAborts      int64 // forest DPs cut short when a banded row's frontier exceeded τ
+
+	// Decomposition-strategy counters, recorded by the arena verifier: how
+	// many candidate pairs ran the DP under each RTED-style per-pair choice
+	// (left-path arrays vs. the mirrored right-path arrays). Pairs settled by
+	// the lower bounds alone count under neither.
+	StrategyLeft  int64
+	StrategyRight int64
 }
 
 // Total returns the end-to-end join time.
@@ -175,6 +182,50 @@ func VerifyAll(ts []*tree.Tree, cands []Candidate, tau int, verify Verifier, wor
 // TED computations, large enough that the check never shows up in a profile.
 const verifyCtxStride = 16
 
+// verifyBatchChunk is how many candidates a parallel verify worker claims per
+// lock acquisition. Candidate decisions are microseconds, not nanoseconds, so
+// the chunk is about amortising the take/deliver mutex and keeping each
+// worker on one run of the candidate slice (the pairs of a run share trees
+// far more often than random pairs do — the arena verifier's prep lookups and
+// scratch stay hot); it is small enough that the tail imbalance stays under a
+// chunk's worth of work per worker.
+const verifyBatchChunk = 32
+
+// BatchVerifier is a per-worker verification context: it decides candidate
+// pairs by collection index and may hold worker-private state — DP scratch, a
+// prep table — that VerifyPair reuses across the whole batch. Close releases
+// that state (returns scratch to its pool); the verifier must not be used
+// after Close. A BatchVerifier is confined to one goroutine, so VerifyPair
+// needs no locking.
+type BatchVerifier interface {
+	VerifyPair(i, j, tau int) (dist int, ok bool)
+	Close()
+}
+
+// BatchVerifierFactory mints one BatchVerifier per verify worker. The factory
+// itself may be called from multiple goroutines; the verifiers it returns are
+// not shared.
+type BatchVerifierFactory func() BatchVerifier
+
+// funcVerifier adapts a stateless pairwise Verifier to the batch interface.
+type funcVerifier struct {
+	ts []*tree.Tree
+	v  Verifier
+}
+
+func (f funcVerifier) VerifyPair(i, j, tau int) (int, bool) { return f.v(f.ts[i], f.ts[j], tau) }
+func (f funcVerifier) Close()                               {}
+
+// AdaptVerifier lifts a stateless Verifier into a BatchVerifierFactory, so
+// custom verifiers (tests, ablations) run through the same batched stage as
+// the arena verifier. A nil v adapts DefaultVerifier.
+func AdaptVerifier(ts []*tree.Tree, v Verifier) BatchVerifierFactory {
+	if v == nil {
+		v = DefaultVerifier
+	}
+	return func() BatchVerifier { return funcVerifier{ts: ts, v: v} }
+}
+
 // VerifyStream runs the verifier over cands and hands each confirmed pair to
 // emit as soon as it is decided. workers ≤ 1 verifies inline; with more, emit
 // is called from multiple goroutines but never concurrently (the stream is
@@ -183,20 +234,58 @@ const verifyCtxStride = 16
 // wall-clock time is added to stats.VerifyTime and len(cands) to
 // stats.Candidates.
 func VerifyStream(ctx context.Context, ts []*tree.Tree, cands []Candidate, tau int, verify Verifier, workers int, stats *Stats, emit EmitFunc) {
-	if verify == nil {
-		verify = DefaultVerifier
-	}
+	VerifyStreamBatched(ctx, cands, tau, AdaptVerifier(ts, verify), workers, stats, emit)
+}
+
+// VerifyStreamWith verifies cands inline with one caller-owned BatchVerifier.
+// It is the sequential core the engine's chunked inline flushes run on: the
+// verifier persists across flushes (the caller Closes it when the whole task
+// is done), so per-flush cost is the candidates alone. Accounting matches
+// VerifyStream: elapsed time into stats.VerifyTime, len(cands) into
+// stats.Candidates.
+func VerifyStreamWith(ctx context.Context, cands []Candidate, tau int, v BatchVerifier, stats *Stats, emit EmitFunc) {
 	start := time.Now()
 	defer func() {
 		stats.VerifyTime += time.Since(start)
 		stats.Candidates += int64(len(cands))
 	}()
+	for k, c := range cands {
+		if k%verifyCtxStride == 0 && ctx.Err() != nil {
+			return
+		}
+		if d, ok := v.VerifyPair(c.I, c.J, tau); ok {
+			if !emit(makePair(c, d)) {
+				return
+			}
+		}
+	}
+}
+
+// VerifyStreamBatched is the batched form of VerifyStream: each worker mints
+// one BatchVerifier from factory, claims candidates in chunks of
+// verifyBatchChunk per lock acquisition, decides the chunk without touching
+// shared state, and delivers its confirmed pairs under one lock — so the
+// per-candidate cost of the stage is the verifier alone. Confirmed pairs are
+// emitted serially (never concurrently), grouped by chunk; ordering across
+// workers is arbitrary, as with VerifyStream. Every minted verifier is
+// Closed before return, including on early abort.
+func VerifyStreamBatched(ctx context.Context, cands []Candidate, tau int, factory BatchVerifierFactory, workers int, stats *Stats, emit EmitFunc) {
+	start := time.Now()
+	defer func() {
+		stats.VerifyTime += time.Since(start)
+		stats.Candidates += int64(len(cands))
+	}()
+	if len(cands) == 0 {
+		return
+	}
 	if workers <= 1 || len(cands) < 2 {
+		v := factory()
+		defer v.Close()
 		for k, c := range cands {
 			if k%verifyCtxStride == 0 && ctx.Err() != nil {
 				return
 			}
-			if d, ok := verify(ts[c.I], ts[c.J], tau); ok {
+			if d, ok := v.VerifyPair(c.I, c.J, tau); ok {
 				if !emit(makePair(c, d)) {
 					return
 				}
@@ -204,49 +293,65 @@ func VerifyStream(ctx context.Context, ts []*tree.Tree, cands []Candidate, tau i
 		}
 		return
 	}
-	if workers > len(cands) {
-		workers = len(cands)
+	if workers > (len(cands)+verifyBatchChunk-1)/verifyBatchChunk {
+		workers = (len(cands) + verifyBatchChunk - 1) / verifyBatchChunk
 	}
-	var next int64
+	var next int
 	var stopped bool
 	var mu sync.Mutex // guards next, stopped, and the emit stream
 	var wg sync.WaitGroup
-	take := func() int {
+	take := func() (int, int) {
 		mu.Lock()
 		defer mu.Unlock()
-		if stopped || next >= int64(len(cands)) {
-			return -1
+		if stopped || next >= len(cands) {
+			return -1, -1
 		}
-		i := next
-		next++
-		if i%verifyCtxStride == 0 && ctx.Err() != nil {
+		if ctx.Err() != nil {
 			stopped = true
-			return -1
+			return -1, -1
 		}
-		return int(i)
+		lo := next
+		hi := lo + verifyBatchChunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		next = hi
+		return lo, hi
 	}
-	deliver := func(p Pair) {
+	deliver := func(ps []Pair) {
 		mu.Lock()
 		defer mu.Unlock()
 		if stopped {
 			return
 		}
-		if !emit(p) {
-			stopped = true
+		for _, p := range ps {
+			if !emit(p) {
+				stopped = true
+				return
+			}
 		}
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			v := factory()
+			defer v.Close()
+			buf := make([]Pair, 0, verifyBatchChunk)
 			for {
-				i := take()
-				if i < 0 {
+				lo, hi := take()
+				if lo < 0 {
 					return
 				}
-				c := cands[i]
-				if d, ok := verify(ts[c.I], ts[c.J], tau); ok {
-					deliver(makePair(c, d))
+				buf = buf[:0]
+				for k := lo; k < hi; k++ {
+					c := cands[k]
+					if d, ok := v.VerifyPair(c.I, c.J, tau); ok {
+						buf = append(buf, makePair(c, d))
+					}
+				}
+				if len(buf) > 0 {
+					deliver(buf)
 				}
 			}
 		}()

@@ -1,0 +1,246 @@
+// Struct-of-arrays tree arenas. The pointer-based verifier of banded.go
+// walks heap-scattered prep structs; at paper scale the DP is memory-bound,
+// so this file flattens every tree of a collection into postorder-indexed
+// parallel slices carved out of one contiguous int32 block:
+//
+//   - labels and leftmost-leaf indices of the left-path decomposition,
+//   - the same two arrays of the mirrored (right-path) decomposition, built
+//     exactly as prepareMirrored builds them but materialised eagerly —
+//     the strategy-driven kernel flips between the two array sets per pair,
+//   - keyroots of both decompositions, each also sorted by leftmost leaf so
+//     the banded kernel binary-searches its τ-window instead of scanning,
+//   - depth, parent, and subtree size (postorder-indexed), and the sorted
+//     label multiset behind the label lower bound,
+//   - the left/right strategy costs the per-pair decomposition choice reads.
+//
+// BuildViews lays a whole collection out back-to-back, so a join's verify
+// stage streams through one arena instead of chasing per-tree pointers; the
+// engine caches the views per tree under "ted/arena", which keeps them warm
+// across joins and lets the dynamic corpus evict exactly the removed trees.
+package ted
+
+import (
+	"sort"
+
+	"treejoin/internal/tree"
+)
+
+// TreeView is the arena image of one tree: every per-tree array the
+// strategy-driven banded verifier reads, postorder-indexed, all backed by
+// one contiguous block shared with the other trees of its build batch. A
+// TreeView is immutable after construction and safe to share across
+// goroutines.
+type TreeView struct {
+	// T is the tree this view flattens, kept for the rare fallback paths
+	// (oversized bands) and for tests; the kernel itself never touches it.
+	T *tree.Tree
+
+	// Left-path (standard postorder) decomposition arrays, exactly the
+	// arrays prepare(T) computes.
+	Labels []int32 // label of the node at postorder index i
+	Lml    []int32 // postorder index of the leftmost leaf of the subtree at i
+
+	// Right-path decomposition arrays over the mirrored postorder, exactly
+	// the arrays prepareMirrored(T) computes (≡ prepare(Mirror(T))).
+	RLabels []int32
+	Rml     []int32
+
+	// Keyroots of each decomposition, ascending by postorder index, plus the
+	// same sets reordered by ascending leftmost-leaf index: the banded kernel
+	// binary-searches the lml-window |lml − li| ≤ τ in the latter.
+	Keyroots  []int32
+	KrByLml   []int32
+	RKeyroots []int32
+	RKrByLml  []int32
+
+	// Structural arrays indexed by left postorder position: node depth
+	// (root = 0), the postorder index of the parent (−1 for the root), and
+	// the subtree size (i − Lml[i] + 1, stored so consumers — serialisation,
+	// future filters — need no recomputation). RParent is the parent array
+	// over mirrored postorder indices (the parent relation is mirror-
+	// invariant; only the ranks change): the kernel walks it to enumerate a
+	// keyroot's decomposition path under the right-path arrays.
+	Depth       []int32
+	Parent      []int32
+	RParent     []int32
+	SubtreeSize []int32
+
+	// SortedLabels is the label multiset sorted ascending, for the merge-based
+	// label lower bound.
+	SortedLabels []int32
+
+	// CostL and CostR are the RTED-style strategy costs of the left- and
+	// right-path decompositions (identical to Prep's); the per-pair
+	// decomposition choice multiplies them.
+	CostL, CostR int64
+}
+
+// Size returns the tree's node count.
+func (v *TreeView) Size() int { return len(v.Labels) }
+
+// BuildViews flattens a collection into arena views backed by one contiguous
+// int32 block: per tree, 8·n array cells plus 4·leaves keyroot cells, laid
+// out back-to-back in collection order. Construction allocates (it is a
+// build-time, per-collection cost the engine caches); verification over the
+// views does not.
+func BuildViews(ts []*tree.Tree) []*TreeView {
+	total := 0
+	for _, t := range ts {
+		total += 9*t.Size() + 4*leafCount(t)
+	}
+	block := make([]int32, total)
+	views := make([]*TreeView, len(ts))
+	off := 0
+	for i, t := range ts {
+		views[i], off = buildView(t, block, off)
+	}
+	return views
+}
+
+// leafCount returns the number of leaves of t — also the keyroot count of
+// either decomposition (each leaf is the decomposition leaf of itself, and
+// every keyroot owns a distinct one).
+func leafCount(t *tree.Tree) int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].FirstChild == tree.None {
+			n++
+		}
+	}
+	return n
+}
+
+// buildView fills one tree's view from block[off:], returning the new offset.
+func buildView(t *tree.Tree, block []int32, off int) (*TreeView, int) {
+	n := t.Size()
+	leaves := leafCount(t)
+	take := func(k int) []int32 {
+		s := block[off : off+k : off+k]
+		off += k
+		return s
+	}
+	v := &TreeView{T: t}
+	v.Labels, v.Lml = take(n), take(n)
+	v.RLabels, v.Rml = take(n), take(n)
+	v.Keyroots, v.KrByLml = take(leaves), take(leaves)
+	v.RKeyroots, v.RKrByLml = take(leaves), take(leaves)
+	v.Depth, v.Parent, v.RParent, v.SubtreeSize = take(n), take(n), take(n), take(n)
+	v.SortedLabels = take(n)
+	v.CostL, v.CostR = strategyCost(t)
+
+	// Left decomposition: standard postorder, leftmost leaves memoised
+	// bottom-up (children precede parents in postorder).
+	post := tree.Postorder(t)
+	rank := make([]int32, n)
+	for i, u := range post {
+		rank[u] = int32(i)
+	}
+	leafNode := make([]int32, n)
+	for _, u := range post {
+		if fc := t.Nodes[u].FirstChild; fc == tree.None {
+			leafNode[u] = u
+		} else {
+			leafNode[u] = leafNode[fc]
+		}
+	}
+	for i, u := range post {
+		v.Labels[i] = t.Nodes[u].Label
+		v.Lml[i] = rank[leafNode[u]]
+		if p := t.Nodes[u].Parent; p == tree.None {
+			v.Parent[i] = -1
+		} else {
+			v.Parent[i] = rank[p]
+		}
+		v.SubtreeSize[i] = int32(i) - v.Lml[i] + 1
+	}
+	// Reverse postorder visits parents before children, so depths fill in
+	// one pass without recursion.
+	depthNode := make([]int32, n)
+	for i := n - 1; i >= 0; i-- {
+		u := post[i]
+		if p := t.Nodes[u].Parent; p != tree.None {
+			depthNode[u] = depthNode[p] + 1
+		}
+	}
+	for i, u := range post {
+		v.Depth[i] = depthNode[u]
+	}
+	fillKeyroots(v.Lml, v.Keyroots, v.KrByLml)
+
+	// Right decomposition: mirrored postorder, the same construction as
+	// prepareMirrored — children walked right-to-left through inverted
+	// sibling links, decomposition leaf = rightmost leaf.
+	last := make([]int32, n)
+	prev := make([]int32, n)
+	for id := range t.Nodes {
+		var p int32 = tree.None
+		for c := t.Nodes[id].FirstChild; c != tree.None; c = t.Nodes[c].NextSibling {
+			prev[c] = p
+			p = c
+		}
+		last[id] = p
+	}
+	rpost := make([]int32, 0, n)
+	type frame struct{ node, child int32 }
+	stack := make([]frame, 0, 16)
+	root := t.Root()
+	stack = append(stack, frame{root, last[root]})
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.child == tree.None {
+			rpost = append(rpost, top.node)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		c := top.child
+		top.child = prev[c]
+		stack = append(stack, frame{c, last[c]})
+	}
+	rrank, rleafNode := rank, leafNode // reuse the left-pass scratch
+	for i, u := range rpost {
+		rrank[u] = int32(i)
+	}
+	for _, u := range rpost {
+		if lc := last[u]; lc == tree.None {
+			rleafNode[u] = u
+		} else {
+			rleafNode[u] = rleafNode[lc]
+		}
+	}
+	for i, u := range rpost {
+		v.RLabels[i] = t.Nodes[u].Label
+		v.Rml[i] = rrank[rleafNode[u]]
+		if p := t.Nodes[u].Parent; p == tree.None {
+			v.RParent[i] = -1
+		} else {
+			v.RParent[i] = rrank[p]
+		}
+	}
+	fillKeyroots(v.Rml, v.RKeyroots, v.RKrByLml)
+
+	copy(v.SortedLabels, v.Labels)
+	sort.Slice(v.SortedLabels, func(a, b int) bool { return v.SortedLabels[a] < v.SortedLabels[b] })
+	return v, off
+}
+
+// fillKeyroots writes the keyroots of a decomposition given its lml array —
+// the nodes no later postorder node shares a decomposition leaf with — in
+// ascending postorder into kr, and the same set sorted by ascending lml into
+// krByLml. len(kr) must equal the tree's leaf count.
+func fillKeyroots(lml, kr, krByLml []int32) {
+	n := len(lml)
+	seen := make([]bool, n)
+	k := len(kr)
+	for i := n - 1; i >= 0; i-- {
+		if !seen[lml[i]] {
+			seen[lml[i]] = true
+			k--
+			kr[k] = int32(i)
+		}
+	}
+	if k != 0 {
+		panic("ted: keyroot count does not match leaf count")
+	}
+	copy(krByLml, kr)
+	sort.Slice(krByLml, func(a, b int) bool { return lml[krByLml[a]] < lml[krByLml[b]] })
+}

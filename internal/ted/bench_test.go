@@ -134,3 +134,58 @@ func BenchmarkVerifyBanded(b *testing.B) {
 		})
 	}
 }
+
+// arenaWorkload is verifyWorkload flattened into arena views: the same trees
+// and candidate pairs, prepared the way a warm engine join holds them.
+func arenaWorkload() ([]*ted.TreeView, [][2]int) {
+	preps, pairs := verifyWorkload()
+	ts := make([]*tree.Tree, len(preps))
+	for i, p := range preps {
+		ts[i] = p.Tree()
+	}
+	return ted.BuildViews(ts), pairs
+}
+
+// BenchmarkVerifyArena is the strategy-driven arena verifier (struct-of-arrays
+// views, band-compacted int16 DP, per-batch scratch) over the identical
+// candidate stream as BenchmarkVerifyFull/Banded — the ≥3× acceptance gate of
+// BENCH_verify.json compares it to BenchmarkVerifyBanded at each τ.
+func BenchmarkVerifyArena(b *testing.B) {
+	views, pairs := arenaWorkload()
+	for _, tau := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			b.ReportAllocs()
+			var tc ted.Counters
+			s := ted.AcquireScratch()
+			defer ted.ReleaseScratch(s)
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					ted.DistanceBoundedView(views[p[0]], views[p[1]], tau, s, &tc)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyArenaStrategy ablates the per-pair decomposition choice at a
+// fixed τ: forced-left, forced-right, and the strategy-driven pick. The pick
+// should track the better forced direction within noise.
+func BenchmarkVerifyArenaStrategy(b *testing.B) {
+	views, pairs := arenaWorkload()
+	const tau = 4
+	for _, mode := range []struct {
+		name string
+		dec  ted.Decomp
+	}{{"left", ted.DecompLeft}, {"right", ted.DecompRight}, {"auto", ted.DecompAuto}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			s := ted.AcquireScratch()
+			defer ted.ReleaseScratch(s)
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					ted.DistanceBoundedViewDecomp(views[p[0]], views[p[1]], tau, mode.dec, s, nil)
+				}
+			}
+		})
+	}
+}

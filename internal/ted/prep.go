@@ -58,11 +58,22 @@ func (p *Prep) rightPrep() *prep {
 	return p.right
 }
 
+// chooseDecomp is the RTED-style per-pair strategy rule shared by pick and
+// the arena verifier: run the left-path decomposition iff the product of the
+// trees' left costs does not exceed the product of their right costs (the
+// product bounds the total DP work of the pair under each decomposition).
+func chooseDecomp(aCostL, aCostR, bCostL, bCostR int64) Decomp {
+	if aCostL*bCostL <= aCostR*bCostR {
+		return DecompLeft
+	}
+	return DecompRight
+}
+
 // pick returns the Zhang–Shasha array pair of the cheaper decomposition for
 // the pair (a, b), mirroring Distance's RTED-style whole-tree strategy
 // choice.
 func pick(a, b *Prep) (*prep, *prep) {
-	if a.costL*b.costL <= a.costR*b.costR {
+	if chooseDecomp(a.costL, a.costR, b.costL, b.costR) == DecompLeft {
 		return a.leftPrep(), b.leftPrep()
 	}
 	return a.rightPrep(), b.rightPrep()
@@ -90,6 +101,47 @@ func labelLowerBoundSorted(a, b []int32) int {
 		m = len(b)
 	}
 	return m - common
+}
+
+// labelBoundExceeds reports labelLowerBoundSorted(a, b) > tau without always
+// finishing the merge: the verdict is returned as soon as the matched count
+// reaches max(|a|,|b|)−tau (the bound can no longer exceed tau) or the
+// remaining elements cannot reach it (the bound certainly does). Both
+// verifier kernels use it in place of the full merge, so their pruning
+// decisions stay identical.
+func labelBoundExceeds(a, b []int32, tau int) bool {
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	need := m - tau // matches required for the bound to stay ≤ tau
+	if need <= 0 {
+		return false
+	}
+	i, j := 0, 0
+	for {
+		ra, rb := len(a)-i, len(b)-j
+		if rb < ra {
+			ra = rb
+		}
+		if ra < need {
+			return true
+		}
+		// need ≥ 1 and min(remaining) ≥ need, so both sides are non-empty.
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+			need--
+			if need == 0 {
+				return false
+			}
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
 }
 
 // prepareMirrored computes the Zhang–Shasha arrays of Mirror(t) without
