@@ -1,0 +1,103 @@
+package treejoin_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"treejoin"
+)
+
+// BenchmarkColdOpen — time to first results on a cold start, the segment
+// store's reason to exist. Both variants start from bytes on disk and end
+// with the same SelfJoin answer over the shared 2000-tree bench corpus:
+//
+//	store:   treejoin.Open on a saved store (mmap'd segments seed canonical
+//	         trees, arena views, and every token bag), then the join.
+//	rebuild: parse the same trees from their serialised text, NewCorpus,
+//	         then the join — every signature recomputed from scratch.
+//
+// The ratio is the cold-start speedup segments buy; baseline numbers are
+// recorded in BENCH_segstore.json.
+func BenchmarkColdOpen(b *testing.B) {
+	ctx := context.Background()
+	ts := engineBenchCorpus()
+
+	// Serialise both starting points once, outside the timer.
+	texts := make([]string, len(ts))
+	for i, t := range ts {
+		texts[i] = treejoin.FormatBracket(t)
+	}
+	dir := filepath.Join(b.TempDir(), "store")
+	seed := mustBenchCorpus(b, ts)
+	// Warm the artifacts SaveTo persists (views and token bags are built at
+	// save time regardless; a prior join also covers the filter profiles the
+	// store does not persist — the rebuild variant recomputes those too, so
+	// the comparison stays join-for-join fair).
+	if _, _, err := seed.SelfJoin(ctx, 1, treejoin.WithMethod(treejoin.MethodPQGram)); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.SaveTo(dir); err != nil {
+		b.Fatal(err)
+	}
+
+	// Cold Open alone, for regression tracking: on return every persisted
+	// artifact (canonical trees, arena views, token bags) is live, so this is
+	// the full cost of reaching warm state from bytes on disk. (There is no
+	// rebuild twin at this level — NewCorpus is lazy and computes nothing, so
+	// a bare parse+NewCorpus timing would compare cold state against warm.)
+	b.Run("Open", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cp, err := treejoin.Open(dir, treejoin.WithStoreNoSync())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cp.Close()
+		}
+	})
+
+	for _, cfg := range []struct {
+		name string
+		m    treejoin.Method
+		tau  int
+	}{
+		{"PQG/tau=1", treejoin.MethodPQGram, 1},
+		{"PRT/tau=2", treejoin.MethodPartSJ, 2},
+	} {
+		b.Run(fmt.Sprintf("%s/store", cfg.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cp, err := treejoin.Open(dir, treejoin.WithStoreNoSync())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := cp.SelfJoin(ctx, cfg.tau, treejoin.WithMethod(cfg.m)); err != nil {
+					b.Fatal(err)
+				}
+				cp.Close()
+			}
+		})
+		b.Run(fmt.Sprintf("%s/rebuild", cfg.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lt := treejoin.NewLabelTable()
+				parsed := make([]*treejoin.Tree, len(texts))
+				for j, s := range texts {
+					parsed[j] = treejoin.MustParseBracket(s, lt)
+				}
+				cp := mustBenchCorpus(b, parsed)
+				if _, _, err := cp.SelfJoin(ctx, cfg.tau, treejoin.WithMethod(cfg.m)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func mustBenchCorpus(b *testing.B, ts []*treejoin.Tree) *treejoin.Corpus {
+	b.Helper()
+	cp, err := treejoin.NewCorpus(ts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cp
+}

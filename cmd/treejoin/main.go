@@ -10,6 +10,9 @@
 //	treejoin -input a.txt -other b.txt -tau 2
 //	treejoin -input trees.txt -topk 10
 //	treejoin -watch -tau 2 [-input seed.txt] < mutations.txt
+//	treejoin -store corpus.dir -tau 2 [-input more.txt]
+//	treejoin -store corpus.dir -compact [-stats]
+//	treejoin -store corpus.dir -watch -tau 2 < mutations.txt
 //
 // The dataset holds one tree per line (bracket or Newick notation) or is a
 // binary dataset written by datagen -format binary; -format auto-detects
@@ -35,6 +38,19 @@
 // never loses its standing result to one bad input line, and skipped lines
 // consume no id. Watch mode runs the incremental PartSJ stream, so -method
 // PRT only, and -other/-topk/-shards/-prefilter do not combine with it.
+//
+// With -store the corpus is a persistent segment store at the given
+// directory: Open-ed if it exists, created otherwise. Trees from -input (text
+// formats only — the store owns the label table) are durably added before the
+// join runs, so repeated invocations accumulate; without -input the join runs
+// over whatever the store holds. -compact forces a compaction cycle (merging
+// segments and dropping tombstones) instead of joining. A -store -watch
+// session journals every mutation through the store's write-ahead log before
+// emitting its delta — kill the process at any point and reopen to find every
+// acknowledged add and removal intact — and ids in deltas and removals are
+// the store's stable tree ids, which survive across sessions. With -stats, a
+// "store:" line reports segment, memtable, tombstone, and compaction
+// counters.
 //
 // Joins are cancellable: -timeout bounds the run, and an interrupt (Ctrl-C)
 // stops it early. Either way the pairs found so far are printed and the
@@ -77,6 +93,8 @@ func main() {
 		stats      = flag.Bool("stats", false, "print execution statistics to stderr")
 		quiet      = flag.Bool("quiet", false, "suppress pair output (useful with -stats)")
 		watch      = flag.Bool("watch", false, "read mutations (bracket tree to add, -N to remove id N) from stdin and emit join deltas")
+		store      = flag.String("store", "", "persistent corpus directory (created if absent); -input trees are durably added")
+		compact    = flag.Bool("compact", false, "force a compaction cycle on -store and exit (no join)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -85,13 +103,35 @@ func main() {
 		fail("%v", err)
 	}
 	defer stopProfiles()
-	if *watch {
-		runWatch(*input, *format, *tau, *topk, *other, *method, *prefilter, *shards, *workers, *timeout, *stats, *quiet)
+	if *compact {
+		if *store == "" {
+			fail("-compact requires -store")
+		}
+		if *watch {
+			fail("-compact does not combine with -watch")
+		}
+		cp, err := treejoin.Open(*store)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := cp.Compact(); err != nil {
+			fail("%v", err)
+		}
+		if *stats {
+			printStoreStats(cp)
+		}
+		if err := cp.Close(); err != nil {
+			fail("%v", err)
+		}
 		return
 	}
-	if *input == "" {
+	if *watch {
+		runWatch(*input, *format, *store, *tau, *topk, *other, *method, *prefilter, *shards, *workers, *timeout, *stats, *quiet)
+		return
+	}
+	if *input == "" && *store == "" {
 		stopProfiles()
-		fmt.Fprintln(os.Stderr, "treejoin: -input is required")
+		fmt.Fprintln(os.Stderr, "treejoin: -input or -store is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -118,9 +158,41 @@ func main() {
 		fail("unknown method %q (want PRT, STR, SET, BF, HIST, EUL, or PQG)", *method)
 	}
 
-	ts, lt, err := cli.Load(*input, *format, nil)
-	if err != nil {
-		fail("%v", err)
+	// The corpus: a persistent store (ingesting -input when given) or a fresh
+	// in-memory corpus over -input. Either way lt is the table queries and
+	// -other must intern into.
+	var corpus *treejoin.Corpus
+	var lt *treejoin.LabelTable
+	if *store != "" {
+		cp, err := treejoin.Open(*store)
+		if err != nil {
+			fail("%v", err)
+		}
+		if *input != "" {
+			// The store owns its label table, so ingest is text-only (the
+			// binary format carries a table of its own).
+			if f, _ := cli.DetectFormat(*input, *format); f == cli.FormatBinary {
+				fail("-store ingests text formats only (the store owns the label table)")
+			}
+			ts, _, err := cli.Load(*input, *format, cp.Labels())
+			if err != nil {
+				fail("%v", err)
+			}
+			if _, err := cp.Add(ts...); err != nil {
+				fail("%v", err)
+			}
+		}
+		corpus, lt = cp, cp.Labels()
+	} else {
+		ts, table, err := cli.Load(*input, *format, nil)
+		if err != nil {
+			fail("%v", err)
+		}
+		lt = table
+		corpus, err = treejoin.NewCorpus(ts)
+		if err != nil {
+			fail("%v", err)
+		}
 	}
 	opts := []treejoin.Option{treejoin.WithMethod(m), treejoin.WithWorkers(*workers)}
 	if *shards > 1 {
@@ -161,11 +233,6 @@ func main() {
 	// handler so a second interrupt kills the process the usual way instead
 	// of being swallowed while partial results print.
 	context.AfterFunc(ctx, stop)
-
-	corpus, err := treejoin.NewCorpus(ts)
-	if err != nil {
-		fail("%v", err)
-	}
 
 	var pairs []treejoin.Pair
 	var st treejoin.Stats
@@ -222,10 +289,27 @@ func main() {
 	if (*stats || interrupted) && *topk == 0 {
 		printStats(m, *tau, st)
 	}
+	if *stats || interrupted {
+		printStoreStats(corpus)
+	}
+	if err := corpus.Close(); err != nil {
+		fail("%v", err)
+	}
 	if interrupted {
 		stopProfiles()
 		os.Exit(1)
 	}
+}
+
+// printStoreStats appends the segment-store line to the stats summary; a
+// no-op for in-memory corpora, which have no store to report on.
+func printStoreStats(cp *treejoin.Corpus) {
+	ss, ok := cp.StoreStats()
+	if !ok {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "store:       %d segments (%d opened), %d memtable trees, %d tombstoned, %d flushes, %d compactions\n",
+		ss.Segments, ss.SegmentsOpened, ss.MemtableTrees, ss.TombstonedTrees, ss.FlushRuns, ss.CompactionRuns)
 }
 
 // printStats writes the execution summary — including per-stage filter
@@ -265,7 +349,7 @@ func printStats(m treejoin.Method, tau int, st treejoin.Stats) {
 // "+\ti\tj\tdist" for every pair entering the result; removals print
 // "-\ti\tj\tdist" for every standing pair they retract. Output is flushed
 // per mutation, so a pipe consumer sees each delta as it happens.
-func runWatch(input, format string, tau, topk int, other, method, prefilter string, shards, workers int, timeout time.Duration, stats, quiet bool) {
+func runWatch(input, format, store string, tau, topk int, other, method, prefilter string, shards, workers int, timeout time.Duration, stats, quiet bool) {
 	if tau < 0 {
 		fail("threshold must be non-negative, got %d", tau)
 	}
@@ -294,24 +378,76 @@ func runWatch(input, format string, tau, topk int, other, method, prefilter stri
 	inc := treejoin.NewIncremental(tau, treejoin.WithWorkers(workers))
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
+
+	// With -store, every mutation journals through the store's write-ahead
+	// log before its delta is emitted, and the ids in deltas and removal
+	// lines are the store's stable tree ids (the incremental stream numbers
+	// trees in add order, so the two id spaces diverge once a reopened store
+	// has gaps — the maps below translate between them).
+	var cp *treejoin.Corpus
+	var incToStore []int // incremental id → store id
+	storeToInc := map[int]int{}
+	if store != "" {
+		var err error
+		cp, err = treejoin.Open(store)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
 	emit := func(sign byte, pairs []treejoin.Pair) {
 		if quiet {
 			return
 		}
 		for _, p := range pairs {
-			fmt.Fprintf(out, "%c\t%d\t%d\t%d\n", sign, p.I, p.J, p.Dist)
+			i, j := p.I, p.J
+			if cp != nil {
+				i, j = incToStore[i], incToStore[j]
+			}
+			fmt.Fprintf(out, "%c\t%d\t%d\t%d\n", sign, i, j, p.Dist)
 		}
+	}
+	// addTree is the single add path: durably journal first (when persistent),
+	// then feed the incremental join and emit the entering pairs.
+	addTree := func(t *treejoin.Tree) error {
+		if cp != nil {
+			ids, err := cp.Add(t)
+			if err != nil {
+				return err
+			}
+			storeToInc[ids[0]] = len(incToStore)
+			incToStore = append(incToStore, ids[0])
+		}
+		emit('+', inc.Add(t))
+		return nil
 	}
 
 	lt := treejoin.NewLabelTable()
+	if cp != nil {
+		// The store seeds the stream: its live trees enter the standing join
+		// in position order, keeping their persistent ids.
+		lt = cp.Labels()
+		for i := 0; i < cp.Len(); i++ {
+			storeToInc[cp.ID(i)] = len(incToStore)
+			incToStore = append(incToStore, cp.ID(i))
+			emit('+', inc.Add(cp.Tree(i)))
+		}
+		out.Flush()
+	}
 	if input != "" {
+		if cp != nil {
+			if f, _ := cli.DetectFormat(input, format); f == cli.FormatBinary {
+				fail("-store ingests text formats only (the store owns the label table)")
+			}
+		}
 		ts, seedLT, err := cli.Load(input, format, lt)
 		if err != nil {
 			fail("%v", err)
 		}
 		lt = seedLT // binary datasets carry their own table; stdin interns into it
 		for _, t := range ts {
-			emit('+', inc.Add(t))
+			if err := addTree(t); err != nil {
+				fail("%v", err)
+			}
 		}
 		out.Flush()
 	}
@@ -363,9 +499,27 @@ loop:
 				fmt.Fprintf(os.Stderr, "treejoin: watch: bad removal %q (want -N)\n", line)
 				continue
 			}
-			if inc.Remove(id) {
+			incID := id
+			if cp != nil {
+				// N is a store id; translate, journal the tombstone, then
+				// retract. A crash after Remove returns loses nothing: replay
+				// restores the removal, and the standing result is rebuilt
+				// from the surviving trees on the next watch.
+				mapped, ok := storeToInc[id]
+				if !ok {
+					fmt.Fprintf(os.Stderr, "treejoin: watch: no live tree with id %d\n", id)
+					continue
+				}
+				if cp.Remove(id) != 1 {
+					fmt.Fprintf(os.Stderr, "treejoin: watch: store lost id %d\n", id)
+					continue
+				}
+				delete(storeToInc, id)
+				incID = mapped
+			}
+			if inc.Remove(incID) {
 				emit('-', inc.Retracted())
-			} else {
+			} else if cp == nil {
 				fmt.Fprintf(os.Stderr, "treejoin: watch: no live tree with id %d\n", id)
 			}
 		} else {
@@ -374,7 +528,10 @@ loop:
 				fmt.Fprintf(os.Stderr, "treejoin: watch: skipping line: %v\n", err)
 				continue
 			}
-			emit('+', inc.Add(t))
+			if err := addTree(t); err != nil {
+				fmt.Fprintf(os.Stderr, "treejoin: watch: %v\n", err)
+				continue
+			}
 		}
 		out.Flush()
 	}
@@ -401,6 +558,14 @@ loop:
 		fmt.Fprintf(os.Stderr, "candidates:  %d\n", st.Candidates)
 		fmt.Fprintf(os.Stderr, "candgen:     %v cpu\n", st.CandTime+st.PartitionTime)
 		fmt.Fprintf(os.Stderr, "verify:      %v\n", st.VerifyTime)
+		if cp != nil {
+			printStoreStats(cp)
+		}
+	}
+	if cp != nil {
+		if err := cp.Close(); err != nil {
+			fail("watch: %v", err)
+		}
 	}
 	if interrupted {
 		out.Flush()

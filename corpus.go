@@ -12,6 +12,7 @@ import (
 
 	"treejoin/internal/core"
 	"treejoin/internal/engine"
+	"treejoin/internal/segstore"
 	"treejoin/internal/sim"
 	"treejoin/internal/tree"
 )
@@ -138,6 +139,12 @@ type Corpus struct {
 	overflow *engine.Cache
 
 	writeMu sync.Mutex // serialises mutations and token-index installs
+
+	// store backs a persistent corpus (see Open): mutations write through to
+	// it — WAL first, then the published state — so an acknowledged Add or
+	// Remove survives a crash. Nil for in-memory corpora.
+	store      *segstore.Store
+	persistent bool
 
 	mu            sync.Mutex
 	searchers     map[searcherKey]*core.KNN
@@ -321,6 +328,17 @@ func (cp *Corpus) Add(ts ...*Tree) ([]int, error) {
 		ns.pos[id] = len(st.ts) + i
 		ns.members[t] = struct{}{}
 	}
+	// Write-through for a persistent corpus: every tree reaches the store's
+	// WAL before the new state publishes, so an acknowledged Add survives a
+	// crash. On error nothing publishes — though an I/O failure mid-batch can
+	// leave a prefix of the batch durable, to reappear on reopen.
+	if cp.store != nil {
+		for i, t := range ts {
+			if err := cp.store.Add(int64(ids[i]), t); err != nil {
+				return nil, fmt.Errorf("treejoin: persist add: %w", err)
+			}
+		}
+	}
 	for name, e := range st.tokidx {
 		ns.tokidx[name] = dynEntry{tz: e.tz, snap: e.snap.WithAdded(ts, cp.cache)}
 	}
@@ -382,6 +400,16 @@ func (cp *Corpus) Remove(ids ...int) int {
 		positions = append(positions, p)
 	}
 	slices.Sort(positions)
+	// Write-through for a persistent corpus (see Add). Remove cannot return
+	// an error, so a store failure aborts the whole mutation: nothing is
+	// unpublished from the in-memory state and the call reports 0.
+	if cp.store != nil {
+		for _, p := range positions {
+			if err := cp.store.Remove(int64(st.ids[p])); err != nil {
+				return 0
+			}
+		}
+	}
 	ns := &corpusState{
 		epoch:   st.epoch + 1,
 		ts:      make([]*Tree, 0, len(st.ts)-len(gone)),

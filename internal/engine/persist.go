@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// Persistence hooks for the artifact cache. The segment store serialises the
+// τ-independent token bags a corpus has paid for (so a reopened corpus joins
+// without re-tokenising anything) and seeds them back on open. The bag type
+// itself stays unexported — these hooks translate between tokenBag and the
+// neutral BagEntry wire form at the cache boundary.
+
+// BagEntry is one distinct token of a serialised bag with its multiplicity.
+// Entries of a bag are sorted ascending by Key with Count ≥ 1 — exactly the
+// invariant buildBag establishes — and SeedBag trusts it, so decoders must
+// validate before seeding.
+type BagEntry struct {
+	Key   uint64
+	Count int32
+}
+
+// BagKinds lists the token-bag artifact kinds currently populated in c,
+// sorted, e.g. ["tokidx/euler-grams/q=1", "tokidx/labels"]. Routed caches
+// store nothing locally and report none.
+func BagKinds(c *Cache) []string {
+	if c == nil || c.route != nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var kinds []string
+	for key, byTree := range c.m {
+		if strings.HasPrefix(key, "tokidx/") && len(byTree) > 0 {
+			kinds = append(kinds, key)
+		}
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// ExportBags returns the bags of ts under the given kind, ready to
+// serialise. With tz non-nil (its tokenBagKey must equal kind), missing bags
+// are built — and cached — so the export always covers every tree; with a
+// nil tz the export is cache-only and ok reports whether every tree had a
+// cached bag.
+func ExportBags(c *Cache, kind string, tz Tokenizer, ts []*tree.Tree) (bags [][]BagEntry, ok bool) {
+	if tz != nil && tokenBagKey(tz) != kind {
+		panic("engine: ExportBags tokenizer does not match kind " + kind)
+	}
+	bags = make([][]BagEntry, len(ts))
+	ok = true
+	for i, t := range ts {
+		var b *tokenBag
+		if v, hit := c.Lookup(kind, t); hit {
+			b = v.(*tokenBag)
+		} else if tz != nil {
+			b = buildBag(tz, t)
+			c.Store(kind, t, b)
+		} else {
+			ok = false
+			continue
+		}
+		out := make([]BagEntry, len(b.toks))
+		for j, tc := range b.toks {
+			out[j] = BagEntry{Key: tc.key, Count: tc.count}
+		}
+		bags[i] = out
+	}
+	return bags, ok
+}
+
+// SeedBag stores a decoded bag for (kind, t), reconstructing the cached form
+// (total = Σ counts). The entries must satisfy the BagEntry invariant; a
+// seeded bag is indistinguishable from one buildBag computed.
+func SeedBag(c *Cache, kind string, t *tree.Tree, entries []BagEntry) {
+	b := &tokenBag{toks: make([]tokenCount, len(entries))}
+	for i, e := range entries {
+		b.toks[i] = tokenCount{key: e.Key, count: e.Count}
+		b.total += e.Count
+	}
+	c.Store(kind, t, b)
+}
+
+// SeedView stores a decoded arena view for t under ArenaKey, so a reopened
+// corpus verifies out of the segment-backed arenas instead of rebuilding
+// them. v must be t's view (v.T == t), already validated by the decoder.
+func SeedView(c *Cache, t *tree.Tree, v *ted.TreeView) {
+	c.Store(ArenaKey, t, v)
+}

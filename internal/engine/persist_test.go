@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"treejoin/internal/tree"
+)
+
+// persistTestTrees builds a few small random trees over one label table.
+func persistTestTrees(n int) []*tree.Tree {
+	rng := rand.New(rand.NewSource(61))
+	lt := tree.NewLabelTable()
+	labels := []string{"a", "b", "c", "d"}
+	ts := make([]*tree.Tree, n)
+	for i := range ts {
+		b := tree.NewBuilder(lt)
+		root := b.Root(labels[rng.Intn(len(labels))])
+		ids := []int32{root}
+		for k := 1 + rng.Intn(12); k > 0; k-- {
+			p := ids[rng.Intn(len(ids))]
+			ids = append(ids, b.Child(p, labels[rng.Intn(len(labels))]))
+		}
+		ts[i] = b.MustBuild()
+	}
+	return ts
+}
+
+func persistTokenizer() Tokenizer {
+	return NewTokenizer("test-labels", 2, func(t *tree.Tree) []uint64 {
+		out := make([]uint64, 0, t.Size())
+		for i := range t.Nodes {
+			out = append(out, uint64(t.Nodes[i].Label))
+		}
+		return out
+	})
+}
+
+// TestExportSeedBagRoundTrip: bags exported from one cache and seeded into a
+// fresh one are indistinguishable — same sorted entries, same totals, and the
+// seeded cache serves them as hits (no rebuild).
+func TestExportSeedBagRoundTrip(t *testing.T) {
+	ts := persistTestTrees(10)
+	tz := persistTokenizer()
+	kind := tokenBagKey(tz)
+
+	src := NewCache()
+	// Cache-only export over a cold cache reports incomplete coverage.
+	if _, ok := ExportBags(src, kind, nil, ts); ok {
+		t.Fatalf("cache-only export over a cold cache reported ok")
+	}
+	bags, ok := ExportBags(src, kind, tz, ts)
+	if !ok {
+		t.Fatalf("building export not ok")
+	}
+	for i, entries := range bags {
+		want := buildBag(tz, ts[i])
+		if len(entries) != len(want.toks) {
+			t.Fatalf("tree %d: %d entries, want %d", i, len(entries), len(want.toks))
+		}
+		var total int32
+		for j, e := range entries {
+			if e.Key != want.toks[j].key || e.Count != want.toks[j].count {
+				t.Fatalf("tree %d entry %d: (%d,%d), want (%d,%d)",
+					i, j, e.Key, e.Count, want.toks[j].key, want.toks[j].count)
+			}
+			if j > 0 && entries[j-1].Key >= e.Key {
+				t.Fatalf("tree %d: entries not strictly ascending at %d", i, j)
+			}
+			total += e.Count
+		}
+		if total != want.total {
+			t.Fatalf("tree %d: total %d, want %d", i, total, want.total)
+		}
+	}
+	// The building export populated the cache: a cache-only export now covers.
+	if _, ok := ExportBags(src, kind, nil, ts); !ok {
+		t.Fatalf("cache-only export after build not ok")
+	}
+
+	dst := NewCache()
+	for i, entries := range bags {
+		SeedBag(dst, kind, ts[i], entries)
+	}
+	if got := dst.KindEntries(kind); got != len(ts) {
+		t.Fatalf("seeded cache has %d entries, want %d", got, len(ts))
+	}
+	misses := dst.Stats().Misses
+	reread, ok := ExportBags(dst, kind, nil, ts)
+	if !ok || !reflect.DeepEqual(reread, bags) {
+		t.Fatalf("re-export of seeded bags differs (ok=%v)", ok)
+	}
+	if dst.Stats().Misses != misses {
+		t.Fatalf("seeded cache missed on lookup")
+	}
+}
+
+// TestBagKinds: only populated tokidx/ kinds are listed, sorted; other
+// artifact kinds and routed caches report nothing.
+func TestBagKinds(t *testing.T) {
+	ts := persistTestTrees(3)
+	c := NewCache()
+	if got := BagKinds(c); got != nil {
+		t.Fatalf("empty cache kinds = %v", got)
+	}
+	c.Store("ted/arena", ts[0], struct{}{})
+	c.Store("tokidx/zzz", ts[0], &tokenBag{})
+	c.Store("tokidx/aaa", ts[1], &tokenBag{})
+	got := BagKinds(c)
+	want := []string{"tokidx/aaa", "tokidx/zzz"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	routed := RoutedCache(func(*tree.Tree) *Cache { return c })
+	if got := BagKinds(routed); got != nil {
+		t.Fatalf("routed cache kinds = %v", got)
+	}
+}

@@ -1,0 +1,301 @@
+// Package segstore implements the persistent corpus: an on-disk directory of
+// immutable segment files (canonical tree encodings, serialised arena views,
+// token-bag posting lists), a manifest tracking segment membership and
+// tombstones, and a write-ahead log making the memtable durable — an
+// LSM-flavoured lifecycle where Add appends to a WAL-backed memtable, Remove
+// tombstones in the manifest, and compaction merges segments once tombstones
+// outnumber live entries (generalising the engine's token-index compaction
+// rule). Trees are content-addressed by a hash of their canonical form, so
+// duplicates across segments dedup to one arena block in memory and one block
+// per segment on disk.
+//
+// Crash safety: the manifest rename is the commit point. Every manifest
+// rewrite is accompanied by a WAL rewrite holding exactly the surviving
+// memtable, in that order — WAL data is never discarded before the state it
+// fed is committed — and replay is idempotent against operations the manifest
+// already reflects, so a crash in the window between the two rewrites loses
+// nothing. See DESIGN.md, "Persistent segments".
+package segstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// Sanity caps mirroring internal/dataset: a corrupt or hostile header must
+// not drive allocations. All far above anything the module generates.
+const (
+	maxLabels    = 1 << 26
+	maxLabelLen  = 1 << 20
+	maxTreeNodes = 1 << 28
+	maxBlocks    = 1 << 24
+	maxEntries   = 1 << 28
+	maxKinds     = 1 << 12
+	maxKindLen   = 1 << 10
+	maxTokens    = 1 << 30
+	maxSegments  = 1 << 20
+	maxNameLen   = 1 << 10
+	maxID        = 1 << 56
+	maxCost      = 1 << 56
+)
+
+// ErrCorrupt reports a malformed or truncated store file; errors.Is against
+// it matches every decode failure produced by this package.
+var ErrCorrupt = errors.New("segstore: corrupt store")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// cw is the common file encoder: buffered, CRC-accumulating (everything after
+// the magic feeds the trailing checksum), sticky-error. finish appends the
+// CRC trailer and flushes.
+type cw struct {
+	bw  *bufio.Writer
+	out io.Writer // tees into the CRC
+	crc hash.Hash32
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func newCW(w io.Writer, magic [4]byte, version byte) *cw {
+	c := &cw{bw: bufio.NewWriter(w), crc: crc32.NewIEEE()}
+	c.out = io.MultiWriter(c.bw, c.crc)
+	if _, err := c.bw.Write(magic[:]); err != nil {
+		c.err = err
+	}
+	c.raw([]byte{version})
+	return c
+}
+
+func (c *cw) raw(p []byte) {
+	if c.err == nil {
+		_, c.err = c.out.Write(p)
+	}
+}
+
+func (c *cw) u(v uint64) {
+	if c.err == nil {
+		n := binary.PutUvarint(c.buf[:], v)
+		_, c.err = c.out.Write(c.buf[:n])
+	}
+}
+
+func (c *cw) str(s string) {
+	c.u(uint64(len(s)))
+	if c.err == nil {
+		_, c.err = io.WriteString(c.out, s)
+	}
+}
+
+func (c *cw) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], c.crc.Sum32())
+	if _, err := c.bw.Write(sum[:]); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// rd is the matching decoder: CRC-accumulating, sticky-error (the first
+// corruption poisons every later read, so decode loops need no per-call
+// checks), capped uvarints. finish verifies the CRC trailer and demands EOF.
+type rd struct {
+	br  *bufio.Reader
+	crc hash.Hash32
+	err error
+}
+
+func newRD(r io.Reader, magic [4]byte, version byte, what string) *rd {
+	d := &rd{br: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	var m [4]byte
+	if _, err := io.ReadFull(d.br, m[:]); err != nil {
+		d.err = corruptf("%s: reading magic: %v", what, err)
+		return d
+	}
+	if m != magic {
+		d.err = corruptf("%s: bad magic %q", what, m[:])
+		return d
+	}
+	ver, err := d.ReadByte()
+	if err != nil {
+		d.err = corruptf("%s: reading version: %v", what, err)
+		return d
+	}
+	if ver != version {
+		d.err = corruptf("%s: unsupported version %d", what, ver)
+	}
+	return d
+}
+
+// ReadByte feeds the CRC; it exists for binary.ReadUvarint.
+func (d *rd) ReadByte() (byte, error) {
+	b, err := d.br.ReadByte()
+	if err == nil {
+		d.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (d *rd) bad(format string, args ...any) {
+	if d.err == nil {
+		d.err = corruptf(format, args...)
+	}
+}
+
+func (d *rd) u(cap uint64, what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d)
+	if err != nil {
+		d.bad("reading %s: %v", what, err)
+		return 0
+	}
+	if v > cap {
+		d.bad("%s %d exceeds limit %d", what, v, cap)
+		return 0
+	}
+	return v
+}
+
+func (d *rd) bytes(p []byte, what string) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.br, p); err != nil {
+		d.bad("reading %s: %v", what, err)
+		return
+	}
+	d.crc.Write(p)
+}
+
+func (d *rd) str(cap uint64, what string) string {
+	n := d.u(cap, what+" length")
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	p := make([]byte, n)
+	d.bytes(p, what)
+	if d.err != nil {
+		return ""
+	}
+	return string(p)
+}
+
+func (d *rd) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	got := d.crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(d.br, sum[:]); err != nil {
+		return corruptf("reading checksum: %v", err)
+	}
+	if want := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return corruptf("checksum mismatch: %08x != %08x", got, want)
+	}
+	if _, err := d.br.ReadByte(); err != io.EOF {
+		return corruptf("trailing bytes after checksum")
+	}
+	return nil
+}
+
+// sd decodes a whole in-memory file image — the segment read path, where the
+// bytes are already mapped. The CRC trailer is verified in one bulk pass up
+// front (SIMD-speed, versus rd's per-byte accumulation), then parsing runs
+// straight off the slice. Same sticky-error contract as rd.
+type sd struct {
+	data []byte // image minus the CRC trailer
+	pos  int
+	err  error
+}
+
+func newSD(data []byte, magic [4]byte, version byte, what string) *sd {
+	d := &sd{}
+	if len(data) < 9 {
+		d.err = corruptf("%s: truncated (%d bytes)", what, len(data))
+		return d
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		d.err = corruptf("%s: bad magic %q", what, data[:4])
+		return d
+	}
+	got := crc32.ChecksumIEEE(data[4 : len(data)-4])
+	if want := binary.LittleEndian.Uint32(data[len(data)-4:]); got != want {
+		d.err = corruptf("%s: checksum mismatch: %08x != %08x", what, got, want)
+		return d
+	}
+	if data[4] != version {
+		d.err = corruptf("%s: unsupported version %d", what, data[4])
+		return d
+	}
+	d.data = data[: len(data)-4 : len(data)-4]
+	d.pos = 5
+	return d
+}
+
+func (d *sd) bad(format string, args ...any) {
+	if d.err == nil {
+		d.err = corruptf(format, args...)
+	}
+}
+
+func (d *sd) u(cap uint64, what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.bad("reading %s: truncated varint", what)
+		return 0
+	}
+	if v > cap {
+		d.bad("%s %d exceeds limit %d", what, v, cap)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// take returns the next n bytes of the image without copying; the slice
+// aliases the (possibly mmap'd) file and must not be retained.
+func (d *sd) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.pos+n > len(d.data) {
+		d.bad("reading %s: truncated", what)
+		return nil
+	}
+	p := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return p
+}
+
+func (d *sd) str(cap uint64, what string) string {
+	n := d.u(cap, what+" length")
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	return string(d.take(int(n), what))
+}
+
+func (d *sd) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.pos != len(d.data) {
+		return corruptf("%d trailing bytes before checksum", len(d.data)-d.pos)
+	}
+	return nil
+}

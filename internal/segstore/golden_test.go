@@ -1,0 +1,156 @@
+package segstore
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"treejoin/internal/engine"
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFixture builds a small deterministic store image: three distinct
+// trees (one added twice, exercising dedup), a token-bag kind, and one
+// tombstone in the manifest. Any byte-level change to the segment or manifest
+// encodings is a format break and must bump the version byte.
+func goldenFixture(t *testing.T) (lt *tree.LabelTable, blocks []*block, entries []segEntry, bags map[string][][]engine.BagEntry, m *manifest) {
+	t.Helper()
+	lt = tree.NewLabelTable()
+	mk := func(build func(b *tree.Builder)) *tree.Tree {
+		b := tree.NewBuilder(lt)
+		build(b)
+		return b.MustBuild()
+	}
+	t1 := mk(func(b *tree.Builder) {
+		r := b.Root("article")
+		a := b.Child(r, "author")
+		b.Child(a, "name")
+		b.Child(r, "title")
+	})
+	t2 := mk(func(b *tree.Builder) {
+		r := b.Root("article")
+		b.Child(r, "title")
+	})
+	t3 := mk(func(b *tree.Builder) {
+		b.Root("note")
+	})
+	views := ted.BuildViews([]*tree.Tree{t1, t2, t3})
+	b1, b2, b3 := newBlock(t1, views[0]), newBlock(t2, views[1]), newBlock(t3, views[2])
+	blocks = []*block{b1, b2, b3}
+	// Entry 2 reuses block 0: the duplicate-content case.
+	entries = []segEntry{{id: 3, blk: 0}, {id: 5, blk: 1}, {id: 8, blk: 0}, {id: 12, blk: 2}}
+	bags = map[string][][]engine.BagEntry{
+		"tokidx/test": {
+			{{Key: 1, Count: 2}, {Key: 7, Count: 1}},
+			{{Key: 1, Count: 1}},
+			{{Key: 42, Count: 3}},
+		},
+	}
+	m = &manifest{
+		nextID: 13,
+		lt:     lt,
+		segs: []manifestSeg{
+			{name: "seg-000001.tjsg", nEntries: 4, tombs: []int32{1}},
+		},
+	}
+	return lt, blocks, entries, bags, m
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: encoding drifted from golden bytes (len %d, want %d); "+
+			"a deliberate format change must bump the version byte and regenerate with -update",
+			name, len(got), len(want))
+	}
+}
+
+func TestSegmentGolden(t *testing.T) {
+	lt, blocks, entries, bags, _ := goldenFixture(t)
+	var buf bytes.Buffer
+	if err := encodeSegment(&buf, lt, blocks, entries, bags); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_segment.tjsg", buf.Bytes())
+
+	// The pinned bytes must round-trip through the real decoder.
+	lt2 := tree.NewLabelTable()
+	for i := 0; i < lt.Len(); i++ {
+		lt2.Intern(lt.Name(int32(i)))
+	}
+	blocks2, entries2, err := decodeSegment(buf.Bytes(), lt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks2) != len(blocks) || len(entries2) != len(entries) {
+		t.Fatalf("round trip: %d blocks / %d entries, want %d / %d",
+			len(blocks2), len(entries2), len(blocks), len(entries))
+	}
+	for i, e := range entries2 {
+		if e.id != entries[i].id || e.blk != entries[i].blk {
+			t.Fatalf("entry %d: got %+v want %+v", i, e, entries[i])
+		}
+	}
+	for i, b := range blocks2 {
+		if !tree.Equal(b.t, blocks[i].t) {
+			t.Fatalf("block %d: tree mismatch after round trip", i)
+		}
+		if b.hash != blocks[i].hash {
+			t.Fatalf("block %d: hash mismatch after round trip", i)
+		}
+		got := b.bags["tokidx/test"]
+		want := bags["tokidx/test"][i]
+		if len(got) != len(want) {
+			t.Fatalf("block %d: bag length %d want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("block %d bag entry %d: got %+v want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestManifestGolden(t *testing.T) {
+	_, _, _, _, m := goldenFixture(t)
+	tmp := filepath.Join(t.TempDir(), manifestName)
+	if err := writeManifestTo(tmp, m, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_manifest.tjmf", got)
+
+	m2, err := readManifest(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.nextID != m.nextID || m2.lt.Len() != m.lt.Len() || len(m2.segs) != len(m.segs) {
+		t.Fatalf("round trip: %+v", m2)
+	}
+	s, s2 := m.segs[0], m2.segs[0]
+	if s2.name != s.name || s2.nEntries != s.nEntries || len(s2.tombs) != 1 || s2.tombs[0] != 1 {
+		t.Fatalf("round trip segment: %+v want %+v", s2, s)
+	}
+}

@@ -1,0 +1,242 @@
+package segstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"treejoin/internal/tree"
+)
+
+// Manifest file (TJMF, version 1) — the store's commit point. It records the
+// epoch's membership: the next id to assign, the full interned label table,
+// and per segment its file name, entry count, and tombstoned entry
+// positions. The manifest is rewritten whole (tmp + fsync + rename, then a
+// directory fsync), so a crash leaves either the old or the new epoch, never
+// a mix; segment files and WAL contents not reachable from the surviving
+// manifest are orphans the next open deletes or replays idempotently.
+//
+//	magic   "TJMF" (4 bytes), version byte
+//	nextID
+//	labelCount, then per label: byteLen, bytes
+//	segmentCount, then per segment:
+//	    nameLen, name
+//	    entryCount
+//	    tombstoneCount, then per tombstone: entry position
+//	        (delta, first absolute; strictly ascending, < entryCount)
+//	crc32 IEEE LE (4 bytes)
+
+var manifestMagic = [4]byte{'T', 'J', 'M', 'F'}
+
+const manifestVersion = 1
+
+const (
+	manifestName = "MANIFEST"
+	walName      = "WAL"
+	segPattern   = "seg-%06d.tjsg"
+)
+
+// manifest is the decoded commit record.
+type manifest struct {
+	nextID int64
+	lt     *tree.LabelTable
+	segs   []manifestSeg
+}
+
+type manifestSeg struct {
+	name     string
+	nEntries int
+	tombs    []int32 // dead entry positions, ascending
+}
+
+func writeManifestTo(path string, m *manifest, noSync bool) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	c := newCW(f, manifestMagic, manifestVersion)
+	c.u(uint64(m.nextID))
+	c.u(uint64(m.lt.Len()))
+	for id := 0; id < m.lt.Len(); id++ {
+		c.str(m.lt.Name(int32(id)))
+	}
+	c.u(uint64(len(m.segs)))
+	for _, s := range m.segs {
+		c.str(s.name)
+		c.u(uint64(s.nEntries))
+		c.u(uint64(len(s.tombs)))
+		prev := int32(0)
+		for i, p := range s.tombs {
+			if i == 0 {
+				c.u(uint64(p))
+			} else {
+				c.u(uint64(p - prev))
+			}
+			prev = p
+		}
+	}
+	if err := c.finish(); err != nil {
+		f.Close()
+		return err
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if !noSync {
+		syncDir(filepath.Dir(path))
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable; best-effort
+// on filesystems that reject directory syncs.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+func readManifest(path string) (*manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decodeManifest(f)
+}
+
+func decodeManifest(r io.Reader) (*manifest, error) {
+	d := newRD(r, manifestMagic, manifestVersion, "manifest")
+	m := &manifest{nextID: int64(d.u(maxID, "next id")), lt: tree.NewLabelTable()}
+	nLabels := d.u(maxLabels, "label count")
+	for i := uint64(0); i < nLabels && d.err == nil; i++ {
+		name := d.str(maxLabelLen, "label")
+		if d.err != nil {
+			break
+		}
+		if id := m.lt.Intern(name); id != int32(i) {
+			d.bad("duplicate label %q", name)
+		}
+	}
+	nSegs := d.u(maxSegments, "segment count")
+	if d.err != nil {
+		return nil, d.err
+	}
+	seen := make(map[string]bool, int(nSegs))
+	for si := uint64(0); si < nSegs; si++ {
+		var s manifestSeg
+		s.name = d.str(maxNameLen, "segment name")
+		nEntries := d.u(maxEntries, "segment entry count")
+		nTombs := d.u(nEntries, "tombstone count")
+		if d.err != nil {
+			return nil, d.err
+		}
+		if _, ok := segNameSeq(s.name); !ok {
+			return nil, corruptf("segment name %q not of the form %s", s.name, segPattern)
+		}
+		if seen[s.name] {
+			return nil, corruptf("segment %q listed twice", s.name)
+		}
+		seen[s.name] = true
+		s.nEntries = int(nEntries)
+		prev := int64(-1)
+		for ti := uint64(0); ti < nTombs; ti++ {
+			var p int64
+			if ti == 0 {
+				p = int64(d.u(nEntries, "tombstone position"))
+			} else {
+				p = prev + int64(d.u(nEntries, "tombstone delta"))
+			}
+			if d.err != nil {
+				return nil, d.err
+			}
+			if p <= prev || p >= int64(nEntries) {
+				return nil, corruptf("segment %q: tombstone %d invalid", s.name, p)
+			}
+			prev = p
+			s.tombs = append(s.tombs, int32(p))
+		}
+		m.segs = append(m.segs, s)
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// segNameSeq extracts the sequence number of a segment file name.
+func segNameSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".tjsg") {
+		return 0, false
+	}
+	var seq int
+	if _, err := fmt.Sscanf(name, segPattern, &seq); err != nil || seq < 0 {
+		return 0, false
+	}
+	if fmt.Sprintf(segPattern, seq) != name {
+		return 0, false
+	}
+	return seq, true
+}
+
+// cleanOrphans deletes segment-shaped files in dir that the manifest does not
+// reference (a crash between segment write and manifest commit leaves them)
+// and stray tmp files, returning the highest sequence number seen anywhere so
+// new segments never reuse a name.
+func cleanOrphans(dir string, m *manifest) (maxSeq int, err error) {
+	live := make(map[string]bool, len(m.segs))
+	for _, s := range m.segs {
+		if seq, ok := segNameSeq(s.name); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+		live[s.name] = true
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return maxSeq, err
+	}
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		seq, ok := segNameSeq(name)
+		if !ok {
+			continue
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if !live[name] {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return maxSeq, err
+			}
+		}
+	}
+	return maxSeq, nil
+}
+
+// sortedTombs returns a segment's dead positions ascending, for the manifest.
+func sortedTombs(dead []bool) []int32 {
+	var out []int32
+	for i, dd := range dead {
+		if dd {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+//go:build linux
+
+package segstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// readFileBytes maps path read-only and returns its bytes plus a release
+// function. Segments are immutable once the manifest references them, so a
+// shared mapping is safe; decode streams over the mapping and releases it,
+// never copying the file through a read buffer first.
+func readFileBytes(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support fall back to a plain read.
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return b, func() {}, nil
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

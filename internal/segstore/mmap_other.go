@@ -1,0 +1,15 @@
+//go:build !linux
+
+package segstore
+
+import "os"
+
+// readFileBytes reads path whole; the non-linux fallback for the mmap-backed
+// segment reader.
+func readFileBytes(path string) ([]byte, func(), error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() {}, nil
+}

@@ -1,0 +1,452 @@
+package segstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+	"sort"
+
+	"treejoin/internal/engine"
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// Segment file (TJSG, version 1). All integers unsigned varints unless
+// noted; everything after the magic feeds the trailing CRC:
+//
+//	magic    "TJSG" (4 bytes), version byte
+//	labelLimit — the label-table length at write time; block labels are < it
+//	blockCount, then per block:
+//	    nodeCount, preorder (labelID, childCount) per node,
+//	    costL, costR — the strategy costs of the arena view,
+//	    cellCount (must equal 9n + 4·leaves), cells as int32 LE,
+//	    sha256 content address (32 bytes) over the canonical block form
+//	entryCount, then per entry: id (delta, first absolute; strictly
+//	    ascending), blockIdx
+//	kindCount, then per kind in ascending name order:
+//	    name, tokenCount, then per token in ascending key order:
+//	        key (delta, first absolute), postingCount, then per posting in
+//	        ascending block order: blockIdx (delta, first absolute), count
+//	crc32 IEEE LE (4 bytes)
+//
+// Blocks are the distinct tree contents; entries map corpus ids onto them
+// (several entries may share a block — that is the dedup). The token section
+// is the inverted form of the per-block bags: reading it back in ascending
+// key order reconstructs every block's bag already sorted. A kind appears
+// only when it covers every block of the segment, so presence means a
+// reopened corpus re-tokenises nothing for it.
+//
+// The per-block sha256 is the content address: computed at write time over
+// the canonical form (preorder stream, costs, cells), it is what makes dedup
+// sound — equal addresses mean equal content, short of a sha256 collision.
+// Integrity on the read path comes from the file-wide CRC trailer (verified
+// in one bulk pass before parsing), which covers the stored addresses too,
+// so the decoder trusts them instead of re-hashing every block; the cells
+// additionally pass ted.ViewFromCells' structural validation before any
+// kernel touches them. (TestSegmentGolden re-derives the addresses, pinning
+// the hash function itself.)
+
+var segMagic = [4]byte{'T', 'J', 'S', 'G'}
+
+const segVersion = 1
+
+// block is one distinct tree content: the decoded tree, its arena view, its
+// content address, and the per-kind token bags persisted with it. Blocks are
+// shared — across entries of a segment, across segments (the store keeps one
+// canonical block per hash), and with the corpus cache.
+type block struct {
+	hash [32]byte
+	t    *tree.Tree
+	view *ted.TreeView
+	bags map[string][]engine.BagEntry // kind → sorted entries; presence = persisted
+}
+
+// segEntry maps one corpus id onto a block of its segment.
+type segEntry struct {
+	id  int64
+	blk int32
+}
+
+// hashBlock computes a tree's content address: sha256 over the canonical
+// form — the preorder (label, childCount) stream, the strategy costs, and
+// the arena cells. BuildViews is deterministic, so the address is a pure
+// function of the tree content (equal trees collide, unequal trees do not,
+// short of a sha256 collision), and covering the cells makes the address
+// double as the block's integrity check.
+func hashBlock(t *tree.Tree, v *ted.TreeView, cells []int32) [32]byte {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	wu := func(x uint64) {
+		n := binary.PutUvarint(buf[:], x)
+		h.Write(buf[:n])
+	}
+	wu(uint64(t.Size()))
+	for _, n := range tree.Preorder(t) {
+		wu(uint64(t.Nodes[n].Label))
+		var fan uint64
+		for c := t.Nodes[n].FirstChild; c != tree.None; c = t.Nodes[c].NextSibling {
+			fan++
+		}
+		wu(fan)
+	}
+	wu(uint64(v.CostL))
+	wu(uint64(v.CostR))
+	wu(uint64(len(cells)))
+	var cb [4]byte
+	for _, c := range cells {
+		binary.LittleEndian.PutUint32(cb[:], uint32(c))
+		h.Write(cb[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// newBlock builds the block of one tree: view, flattened cells, address.
+func newBlock(t *tree.Tree, v *ted.TreeView) *block {
+	cells := ted.AppendViewCells(make([]int32, 0, ted.ViewCellCount(t.Size(), ted.Leaves(t))), v)
+	return &block{hash: hashBlock(t, v, cells), t: t, view: v}
+}
+
+// writeTreeStream encodes t's preorder (label, childCount) stream — the
+// canonical tree encoding shared by segments, the WAL, and the content hash.
+func writeTreeStream(c *cw, t *tree.Tree) {
+	c.u(uint64(t.Size()))
+	for _, n := range tree.Preorder(t) {
+		c.u(uint64(t.Nodes[n].Label))
+		var fan uint64
+		for ch := t.Nodes[n].FirstChild; ch != tree.None; ch = t.Nodes[ch].NextSibling {
+			fan++
+		}
+		c.u(fan)
+	}
+}
+
+// readTreeStream reconstructs one tree from its preorder stream, exactly the
+// dataset package's stack pass: labels must be interned below labelLimit.
+func readTreeStream(d *sd, lt *tree.LabelTable, labelLimit uint64) *tree.Tree {
+	n := d.u(maxTreeNodes, "tree size")
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 {
+		d.bad("empty tree")
+		return nil
+	}
+	b := tree.NewBuilder(lt)
+	type frame struct {
+		id      int32
+		pending uint64
+	}
+	var stack []frame
+	for i := uint64(0); i < n; i++ {
+		label := d.u(labelLimit, "label id")
+		fan := d.u(n, "child count")
+		if d.err != nil {
+			return nil
+		}
+		if label >= labelLimit {
+			d.bad("node %d: label id %d out of range", i, label)
+			return nil
+		}
+		var id int32
+		if len(stack) == 0 {
+			if i != 0 {
+				d.bad("node %d after the root completed", i)
+				return nil
+			}
+			id = b.RootID(int32(label))
+		} else {
+			top := &stack[len(stack)-1]
+			id = b.ChildID(top.id, int32(label))
+			top.pending--
+		}
+		if fan > 0 {
+			stack = append(stack, frame{id: id, pending: fan})
+		}
+		for len(stack) > 0 && stack[len(stack)-1].pending == 0 {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		d.bad("%d nodes missing", len(stack))
+		return nil
+	}
+	t, err := b.Build()
+	if err != nil {
+		d.bad("invalid tree: %v", err)
+		return nil
+	}
+	return t
+}
+
+// encodeSegment writes the segment of (blocks, entries) to w. bags maps each
+// persisted kind to one bag per block (index-aligned with blocks); only
+// kinds covering every block belong here. Deterministic: byte-identical
+// output for identical logical content, which is what pins content
+// addresses and makes the golden test meaningful.
+func encodeSegment(w *bytes.Buffer, lt *tree.LabelTable, blocks []*block, entries []segEntry, bags map[string][][]engine.BagEntry) error {
+	c := newCW(w, segMagic, segVersion)
+	c.u(uint64(lt.Len()))
+	c.u(uint64(len(blocks)))
+	var cellBuf []int32
+	var cb [4]byte
+	for _, b := range blocks {
+		writeTreeStream(c, b.t)
+		c.u(uint64(b.view.CostL))
+		c.u(uint64(b.view.CostR))
+		cellBuf = ted.AppendViewCells(cellBuf[:0], b.view)
+		c.u(uint64(len(cellBuf)))
+		for _, cell := range cellBuf {
+			binary.LittleEndian.PutUint32(cb[:], uint32(cell))
+			c.raw(cb[:])
+		}
+		c.raw(b.hash[:])
+	}
+	c.u(uint64(len(entries)))
+	prev := int64(0)
+	for i, e := range entries {
+		if i == 0 {
+			c.u(uint64(e.id))
+		} else {
+			c.u(uint64(e.id - prev))
+		}
+		prev = e.id
+		c.u(uint64(e.blk))
+	}
+	kinds := make([]string, 0, len(bags))
+	for k := range bags {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	c.u(uint64(len(kinds)))
+	for _, kind := range kinds {
+		c.str(kind)
+		// Invert the per-block bags into token postings, ascending by key.
+		type post struct {
+			blk   int32
+			count int32
+		}
+		idx := make(map[uint64][]post)
+		keys := make([]uint64, 0, 64)
+		for bi, bag := range bags[kind] {
+			for _, e := range bag {
+				if _, ok := idx[e.Key]; !ok {
+					keys = append(keys, e.Key)
+				}
+				idx[e.Key] = append(idx[e.Key], post{blk: int32(bi), count: e.Count})
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		c.u(uint64(len(keys)))
+		prevKey := uint64(0)
+		for i, key := range keys {
+			if i == 0 {
+				c.u(key)
+			} else {
+				c.u(key - prevKey)
+			}
+			prevKey = key
+			ps := idx[key]
+			c.u(uint64(len(ps)))
+			prevBlk := int32(0)
+			for j, p := range ps {
+				if j == 0 {
+					c.u(uint64(p.blk))
+				} else {
+					c.u(uint64(p.blk - prevBlk))
+				}
+				prevBlk = p.blk
+				c.u(uint64(p.count))
+			}
+		}
+	}
+	return c.finish()
+}
+
+// writeSegmentFile encodes to path and (unless noSync) fsyncs. The file
+// becomes live only when a manifest referencing it commits; a crash before
+// that leaves an orphan the next open removes.
+func writeSegmentFile(path string, lt *tree.LabelTable, blocks []*block, entries []segEntry, bags map[string][][]engine.BagEntry, noSync bool) error {
+	var buf bytes.Buffer
+	if err := encodeSegment(&buf, lt, blocks, entries, bags); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// decodeSegment parses a segment from data. Labels must already be interned
+// in lt (the manifest's table is decoded first); every block is re-hashed
+// against its stored address and its cells pass structural validation, so a
+// returned block is safe for the verification kernel and sound for dedup.
+func decodeSegment(data []byte, lt *tree.LabelTable) (blocks []*block, entries []segEntry, err error) {
+	d := newSD(data, segMagic, segVersion, "segment")
+	labelLimit := d.u(maxLabels, "label limit")
+	if d.err == nil && labelLimit > uint64(lt.Len()) {
+		d.bad("label limit %d exceeds table %d", labelLimit, lt.Len())
+	}
+	nBlocks := d.u(maxBlocks, "block count")
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	blocks = make([]*block, 0, min64(nBlocks, 1<<14))
+	var hash [32]byte
+	for bi := uint64(0); bi < nBlocks; bi++ {
+		t := readTreeStream(d, lt, labelLimit)
+		costL := d.u(maxCost, "left cost")
+		costR := d.u(maxCost, "right cost")
+		nCells := d.u(maxTreeNodes*13, "cell count")
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		if want := ted.ViewCellCount(t.Size(), ted.Leaves(t)); nCells != uint64(want) {
+			return nil, nil, corruptf("block %d: %d cells, want %d", bi, nCells, want)
+		}
+		raw := d.take(int(nCells)*4, "cells")
+		copy(hash[:], d.take(32, "block hash"))
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		cells := make([]int32, nCells)
+		for i := range cells {
+			cells[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+		v, verr := ted.ViewFromCells(t, cells, int64(costL), int64(costR))
+		if verr != nil {
+			return nil, nil, corruptf("block %d: %v", bi, verr)
+		}
+		blocks = append(blocks, &block{hash: hash, t: t, view: v})
+	}
+	nEntries := d.u(maxEntries, "entry count")
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	entries = make([]segEntry, 0, min64(nEntries, 1<<16))
+	prev := int64(-1)
+	for i := uint64(0); i < nEntries; i++ {
+		var id int64
+		if i == 0 {
+			id = int64(d.u(maxID, "entry id"))
+		} else {
+			id = prev + int64(d.u(maxID, "entry id delta"))
+		}
+		blk := d.u(nBlocks, "entry block")
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		if id <= prev {
+			return nil, nil, corruptf("entry %d: id %d not ascending", i, id)
+		}
+		if blk >= nBlocks {
+			return nil, nil, corruptf("entry %d: block %d out of range", i, blk)
+		}
+		prev = id
+		entries = append(entries, segEntry{id: id, blk: int32(blk)})
+	}
+	nKinds := d.u(maxKinds, "kind count")
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	prevKind := ""
+	for ki := uint64(0); ki < nKinds; ki++ {
+		kind := d.str(maxKindLen, "kind name")
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		if ki > 0 && kind <= prevKind {
+			return nil, nil, corruptf("kind %q not ascending", kind)
+		}
+		prevKind = kind
+		perBlock := make([][]engine.BagEntry, len(blocks))
+		nTokens := d.u(maxTokens, "token count")
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		prevKey := uint64(0)
+		for ti := uint64(0); ti < nTokens; ti++ {
+			var key uint64
+			if ti == 0 {
+				key = d.u(^uint64(0), "token key")
+			} else {
+				delta := d.u(^uint64(0), "token key delta")
+				if d.err == nil && delta == 0 {
+					return nil, nil, corruptf("kind %q: token keys not ascending", kind)
+				}
+				key = prevKey + delta
+				if key < prevKey {
+					return nil, nil, corruptf("kind %q: token key overflow", kind)
+				}
+			}
+			prevKey = key
+			nPost := d.u(nBlocks, "posting count")
+			if d.err != nil {
+				return nil, nil, d.err
+			}
+			prevBlk := int64(-1)
+			for pi := uint64(0); pi < nPost; pi++ {
+				var blk int64
+				if pi == 0 {
+					blk = int64(d.u(nBlocks, "posting block"))
+				} else {
+					blk = prevBlk + int64(d.u(nBlocks, "posting block delta"))
+				}
+				count := d.u(1<<31, "posting token count")
+				if d.err != nil {
+					return nil, nil, d.err
+				}
+				if blk <= prevBlk || blk >= int64(len(blocks)) {
+					return nil, nil, corruptf("kind %q: posting block %d invalid", kind, blk)
+				}
+				if count == 0 {
+					return nil, nil, corruptf("kind %q: zero posting count", kind)
+				}
+				prevBlk = blk
+				perBlock[blk] = append(perBlock[blk], engine.BagEntry{Key: key, Count: int32(count)})
+			}
+		}
+		// Tokens iterate in ascending key order, so every reconstructed bag
+		// is already sorted — the BagEntry invariant a seeded cache trusts.
+		for bi, b := range blocks {
+			if b.bags == nil {
+				b.bags = make(map[string][]engine.BagEntry, int(nKinds))
+			}
+			b.bags[kind] = perBlock[bi]
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, nil, err
+	}
+	return blocks, entries, nil
+}
+
+// readSegmentFile maps path (mmap on linux) and decodes it.
+func readSegmentFile(path string, lt *tree.LabelTable) ([]*block, []segEntry, error) {
+	data, done, err := readFileBytes(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer done()
+	return decodeSegment(data, lt)
+}
+
+func min64(a uint64, b int) int {
+	if a < uint64(b) {
+		return int(a)
+	}
+	return b
+}

@@ -1,0 +1,384 @@
+package segstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"treejoin/internal/tree"
+)
+
+// Write-ahead log (TJWL, version 1). Every mutation appends one record and
+// syncs before the in-memory state changes, so the memtable survives a
+// crash. Records are individually CRC'd (there is no trailer — the file
+// grows); a torn tail truncates back to the last whole record:
+//
+//	magic   "TJWL" (4 bytes), version byte
+//	records, each: kind byte, payload, crc32 IEEE LE over kind+payload
+//	'A' payload: id, prevLabels, newLabelCount, per label: byteLen, bytes,
+//	    then the tree's preorder (label, childCount) stream
+//	'R' payload: id
+//
+// The label table grows as trees arrive; an 'A' record carries exactly the
+// labels appended since the previous record (prevLabels = table length
+// before them), so replay reconstructs the table incrementally — and when
+// the record is stale (already reflected in a newer manifest, whose table
+// contains those labels), the splice validates instead of appending.
+//
+// Replay is idempotent by construction (see replayWAL): the WAL is rewritten
+// at every manifest commit to hold exactly the surviving memtable, but the
+// rewrite happens *after* the manifest rename, so a crash in between leaves
+// a stale WAL whose records are all either already in the manifest (skipped)
+// or still memtable-bound (applied) — nothing is lost and nothing doubles.
+
+var walMagic = [4]byte{'T', 'J', 'W', 'L'}
+
+const walVersion = 1
+
+// walWriter appends records to the open WAL file.
+type walWriter struct {
+	f      *os.File
+	noSync bool
+}
+
+func createWAL(path string, noSync bool) (*walWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(append(walMagic[:], walVersion)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &walWriter{f: f, noSync: noSync}, nil
+}
+
+func openWALForAppend(path string, noSync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f, noSync: noSync}, nil
+}
+
+func (w *walWriter) append(rec []byte) error {
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(rec))
+	if _, err := w.f.Write(append(rec, sum[:]...)); err != nil {
+		return err
+	}
+	if w.noSync {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+func (w *walWriter) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// encodeAdd builds an 'A' record: the id, the label-table splice (labels
+// [prevLabels, lt.Len()) are the ones this mutation introduced), and the
+// tree stream.
+func encodeAdd(id int64, lt *tree.LabelTable, prevLabels int, t *tree.Tree) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte('A')
+	c := &cw{bw: nil, out: &buf}
+	c.u(uint64(id))
+	c.u(uint64(prevLabels))
+	c.u(uint64(lt.Len() - prevLabels))
+	for i := prevLabels; i < lt.Len(); i++ {
+		c.str(lt.Name(int32(i)))
+	}
+	writeTreeStream(c, t)
+	return buf.Bytes()
+}
+
+func encodeRemove(id int64) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte('R')
+	c := &cw{bw: nil, out: &buf}
+	c.u(uint64(id))
+	return buf.Bytes()
+}
+
+// walOp is one replayed operation.
+type walOp struct {
+	remove bool
+	id     int64
+	t      *tree.Tree // nil for removes
+}
+
+// replayWAL parses the WAL at path, splicing label deltas into lt and
+// returning the operations of every whole, checksummed record. A torn or
+// corrupt tail — a record that does not parse, fails its CRC, or splices
+// labels inconsistently — truncates the file back to the last good record:
+// everything before it was synced and applies, everything after never fully
+// committed. The caller applies the ops idempotently against the manifest
+// state (see Store replay rules).
+func replayWAL(path string, lt *tree.LabelTable, noSync bool) ([]walOp, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 5 || !bytes.Equal(data[:4], walMagic[:]) || data[4] != walVersion {
+		// An unrecognisable WAL is rebuilt empty: nothing can be recovered
+		// from it, and the manifest alone is a consistent (if older) state.
+		return nil, rewriteWALFile(path, nil, nil, 0, noSync)
+	}
+	var ops []walOp
+	pos := 5
+	good := 5 // offset just past the last whole record
+	for pos < len(data) {
+		op, next, ok := parseRecord(data, pos, lt)
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+		pos = next
+		good = next
+	}
+	if good < len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, err
+		}
+	}
+	return ops, nil
+}
+
+// parseRecord decodes one record at data[pos:], returning the op and the
+// offset past its CRC. ok is false for any truncation, corruption, CRC
+// mismatch, or label-splice conflict. The CRC is verified before the record
+// takes any effect, so a bad record never pollutes the label table.
+func parseRecord(data []byte, pos int, lt *tree.LabelTable) (op walOp, next int, ok bool) {
+	end, ok := recordEnd(data, pos)
+	if !ok || end+4 > len(data) {
+		return op, 0, false
+	}
+	want := binary.LittleEndian.Uint32(data[end : end+4])
+	if crc32.ChecksumIEEE(data[pos:end]) != want {
+		return op, 0, false
+	}
+	r := &sliceReader{data: data[:end], pos: pos}
+	switch r.byteVal() {
+	case 'A':
+		op.id = int64(r.u(maxID))
+		prevLabels := r.u(maxLabels)
+		nNew := r.u(maxLabels)
+		if r.err || prevLabels > uint64(lt.Len()) {
+			return op, 0, false
+		}
+		// Splice: labels the table already holds (a stale record whose
+		// mutation a newer manifest committed) must match byte for byte;
+		// genuinely new ones intern at exactly the recorded positions.
+		for i := uint64(0); i < nNew; i++ {
+			name := r.str(maxLabelLen)
+			if r.err {
+				return op, 0, false
+			}
+			idx := int32(prevLabels + i)
+			if idx < int32(lt.Len()) {
+				if lt.Name(idx) != name {
+					return op, 0, false
+				}
+			} else if lt.Intern(name) != idx {
+				return op, 0, false
+			}
+		}
+		op.t = r.tree(lt)
+	default: // recordEnd admitted only 'A' and 'R'
+		op.remove = true
+		op.id = int64(r.u(maxID))
+	}
+	if r.err || r.pos != end {
+		return op, 0, false
+	}
+	return op, end + 4, true
+}
+
+// recordEnd finds the byte offset just past a record's payload (where its
+// CRC trailer starts) by structurally skipping it, with no side effects.
+func recordEnd(data []byte, pos int) (int, bool) {
+	r := &sliceReader{data: data, pos: pos}
+	switch r.byteVal() {
+	case 'A':
+		r.u(maxID)
+		r.u(maxLabels)
+		nNew := r.u(maxLabels)
+		for i := uint64(0); i < nNew && !r.err; i++ {
+			r.str(maxLabelLen)
+		}
+		n := r.u(maxTreeNodes)
+		for i := uint64(0); i < 2*n && !r.err; i++ {
+			r.u(^uint64(0))
+		}
+	case 'R':
+		r.u(maxID)
+	default:
+		return 0, false
+	}
+	if r.err {
+		return 0, false
+	}
+	return r.pos, true
+}
+
+// rewriteWALFile atomically replaces the WAL with one holding exactly the
+// given memtable as 'A' records (ids[i] ↔ ts[i]); labelsLen stamps every
+// record's prevLabels (their labels are already in the manifest's table, so
+// the splice is empty). Called after a manifest commit — never before.
+func rewriteWALFile(path string, ids []int64, ts []*tree.Tree, labelsLen int, noSync bool) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.Write(walMagic[:])
+	buf.WriteByte(walVersion)
+	for i, id := range ids {
+		rec := encodeAddStable(id, labelsLen, ts[i])
+		var sum [4]byte
+		binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(rec))
+		buf.Write(rec)
+		buf.Write(sum[:])
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if !noSync {
+		syncDir(filepath.Dir(path))
+	}
+	return nil
+}
+
+// encodeAddStable is encodeAdd with no new labels: the rewrite form.
+func encodeAddStable(id int64, labelsLen int, t *tree.Tree) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte('A')
+	c := &cw{out: &buf}
+	c.u(uint64(id))
+	c.u(uint64(labelsLen))
+	c.u(0)
+	writeTreeStream(c, t)
+	return buf.Bytes()
+}
+
+// sliceReader parses varint records from a byte slice with bounds checks;
+// the WAL's in-memory record parser.
+type sliceReader struct {
+	data []byte
+	pos  int
+	err  bool
+}
+
+func (r *sliceReader) byteVal() byte {
+	if r.err || r.pos >= len(r.data) {
+		r.err = true
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *sliceReader) u(cap uint64) uint64 {
+	if r.err {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 || v > cap {
+		r.err = true
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *sliceReader) str(cap uint64) string {
+	n := r.u(cap)
+	if r.err || r.pos+int(n) > len(r.data) {
+		r.err = true
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+// tree decodes a preorder stream, the slice-reader twin of readTreeStream.
+func (r *sliceReader) tree(lt *tree.LabelTable) *tree.Tree {
+	n := r.u(maxTreeNodes)
+	if r.err || n == 0 {
+		r.err = true
+		return nil
+	}
+	b := tree.NewBuilder(lt)
+	type frame struct {
+		id      int32
+		pending uint64
+	}
+	var stack []frame
+	for i := uint64(0); i < n; i++ {
+		label := r.u(uint64(lt.Len()))
+		fan := r.u(n)
+		if r.err || label >= uint64(lt.Len()) {
+			r.err = true
+			return nil
+		}
+		var id int32
+		if len(stack) == 0 {
+			if i != 0 {
+				r.err = true
+				return nil
+			}
+			id = b.RootID(int32(label))
+		} else {
+			top := &stack[len(stack)-1]
+			id = b.ChildID(top.id, int32(label))
+			top.pending--
+		}
+		if fan > 0 {
+			stack = append(stack, frame{id: id, pending: fan})
+		}
+		for len(stack) > 0 && stack[len(stack)-1].pending == 0 {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		r.err = true
+		return nil
+	}
+	t, err := b.Build()
+	if err != nil {
+		r.err = true
+		return nil
+	}
+	return t
+}

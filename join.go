@@ -130,6 +130,10 @@ type config struct {
 	prefilters []Prefilter
 	statsDst   *Stats
 	indexCap   int
+
+	// Persistent-store knobs (see Open, WithMemtableBudget, WithStoreNoSync).
+	memBudget   int
+	storeNoSync bool
 }
 
 // Option customises a join call.

@@ -1,0 +1,108 @@
+// The persistence oracle: a persistent corpus subjected to a random
+// Add/Remove sequence interleaved with close/reopen cycles (and a SaveTo
+// round trip) must remain observationally identical to a corpus freshly built
+// over the surviving trees — bit-identical SelfJoin results for every method
+// at every threshold. This extends the mutation oracle across the storage
+// boundary: WAL replay, segment flushes, tombstones, compaction, and artifact
+// seeding all sit on the query path it checks.
+package treejoin_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"treejoin"
+	"treejoin/internal/synth"
+)
+
+func TestPersistenceOracle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	cp, err := treejoin.Open(dir,
+		treejoin.WithMemtableBudget(16), treejoin.WithStoreNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One synthetic pool re-interned into the store's label table; the first
+	// 60 seed the corpus (enough to engage the token-index machinery), the
+	// rest feed the Add stream.
+	pool := reintern(synth.Generate(synth.SyntheticParams(95, 3, 5, 20, 60, 71)), cp.Labels())
+	ids, err := cp.Add(pool[:60]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveIDs := append([]int(nil), ids...)
+	next := 60
+	rng := rand.New(rand.NewSource(43))
+
+	for step := 0; step < 4; step++ {
+		if rng.Intn(2) == 0 && next < len(pool) {
+			n := 1 + rng.Intn(3)
+			if next+n > len(pool) {
+				n = len(pool) - next
+			}
+			ids, err := cp.Add(pool[next : next+n]...)
+			if err != nil {
+				t.Fatalf("step %d Add: %v", step, err)
+			}
+			liveIDs = append(liveIDs, ids...)
+			next += n
+		} else {
+			n := 1 + rng.Intn(4)
+			for k := 0; k < n && len(liveIDs) > 50; k++ {
+				i := rng.Intn(len(liveIDs))
+				if cp.Remove(liveIDs[i]) != 1 {
+					t.Fatalf("step %d: Remove(%d) failed", step, liveIDs[i])
+				}
+				liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+			}
+		}
+		// Every other step crosses the storage boundary before checking.
+		if step%2 == 1 {
+			if err := cp.Close(); err != nil {
+				t.Fatalf("step %d Close: %v", step, err)
+			}
+			cp, err = treejoin.Open(dir,
+				treejoin.WithMemtableBudget(16), treejoin.WithStoreNoSync())
+			if err != nil {
+				t.Fatalf("step %d reopen: %v", step, err)
+			}
+			// Reopening rebuilds the label table from the manifest; the Add
+			// stream must target the live table.
+			pool = reintern(pool, cp.Labels())
+		}
+		checkSelfOracle(t, "persist step "+string(rune('0'+step)), cp)
+	}
+
+	// Stable ids must address the same trees across every cycle.
+	for _, id := range liveIDs {
+		if _, ok := cp.PosOf(id); !ok {
+			t.Fatalf("live id %d lost across reopen cycles", id)
+		}
+	}
+	if cp.Len() != len(liveIDs) {
+		t.Fatalf("corpus has %d trees, oracle %d", cp.Len(), len(liveIDs))
+	}
+
+	// SaveTo leg: persist the survivors as a second store; its reopened
+	// corpus must satisfy the same oracle, and a cross join between the two
+	// reopened corpora must match fresh corpora over the same memberships.
+	dir2 := filepath.Join(t.TempDir(), "saved")
+	mem := mustCorpus(t, cp.Trees())
+	if err := mem.SaveTo(dir2); err != nil {
+		t.Fatal(err)
+	}
+	re, err := treejoin.Open(dir2, treejoin.WithStoreNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSelfOracle(t, "persist saveto", re)
+	other := mustCorpus(t, reintern(pool[:20], re.Labels()))
+	checkCrossOracle(t, "persist cross", re, other)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

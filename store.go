@@ -1,0 +1,247 @@
+package treejoin
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"treejoin/internal/baseline"
+	"treejoin/internal/core"
+	"treejoin/internal/engine"
+	"treejoin/internal/pqgram"
+	"treejoin/internal/segstore"
+	"treejoin/internal/ted"
+	"treejoin/internal/tree"
+)
+
+// ErrNotPersistent reports a store-only operation (Compact, StoreStats with
+// strict semantics) on a purely in-memory corpus.
+var ErrNotPersistent = errors.New("treejoin: corpus has no backing store")
+
+// StoreStats reports the state of a persistent corpus's backing segment
+// store: live membership, segment and memtable occupancy, tombstones awaiting
+// compaction, and lifecycle counters.
+type StoreStats = segstore.Stats
+
+// Open opens the persistent corpus stored at dir, creating an empty one if
+// the directory holds no store yet. The returned corpus is fully dynamic —
+// every Add appends to the store's write-ahead log before it is visible, every
+// Remove tombstones, and a background compactor folds segments once enough
+// entries die — and everything the store persisted comes back warm: canonical
+// trees (duplicates share one in-memory instance), arena verification views,
+// and the τ-independent token bags of every signature method a previous
+// session paid for. A cold Open followed by a join therefore skips signature
+// computation entirely for segment-resident trees.
+//
+// Trees added to a persistent corpus must be built against the corpus's own
+// label table (Labels()); the table is part of the store and survives
+// reopening. Close the corpus when done — Close flushes the memtable into a
+// segment and releases the store; a crash instead of a Close loses nothing
+// (the WAL replays), it only leaves the memtable trees to be re-staged.
+//
+// Options are corpus-level: WithIndexCacheCap as for NewCorpus, plus
+// WithMemtableBudget and WithStoreNoSync for the store itself.
+func Open(dir string, opts ...Option) (*Corpus, error) {
+	c := buildConfig(opts)
+	sopt := c.storeOptions()
+	var s *segstore.Store
+	var err error
+	if _, statErr := os.Stat(filepath.Join(dir, "MANIFEST")); statErr == nil {
+		s, err = segstore.Open(dir, sopt)
+	} else {
+		s, err = segstore.Create(dir, nil, sopt)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("treejoin: open store: %w", err)
+	}
+	cp, err := corpusFromStore(s, c)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return cp, nil
+}
+
+// corpusFromStore builds a live Corpus over an opened store, seeding the
+// signature cache with every artifact the segments carry.
+func corpusFromStore(s *segstore.Store, c config) (*Corpus, error) {
+	live := s.Live()
+	st := &corpusState{
+		ts:      make([]*Tree, 0, len(live)),
+		ids:     make([]int, 0, len(live)),
+		pos:     make(map[int]int, len(live)),
+		nextID:  int(s.NextID()),
+		lt:      s.Labels(),
+		members: make(map[*Tree]struct{}, len(live)),
+	}
+	cache := engine.NewCache()
+	for _, lv := range live {
+		id := int(lv.ID)
+		st.pos[id] = len(st.ts)
+		st.ts = append(st.ts, lv.Tree)
+		st.ids = append(st.ids, id)
+		st.members[lv.Tree] = struct{}{}
+		// Duplicate-content entries alias one block; seeding is idempotent
+		// (the cache keys by tree pointer).
+		if lv.View != nil {
+			engine.SeedView(cache, lv.Tree, lv.View)
+		}
+		for kind, bag := range lv.Bags {
+			engine.SeedBag(cache, kind, lv.Tree, bag)
+		}
+	}
+	cp := &Corpus{
+		cache:      cache,
+		indexCap:   c.indexCap,
+		searchers:  make(map[searcherKey]*core.KNN),
+		store:      s,
+		persistent: true,
+	}
+	cp.state.Store(st)
+	s.SetArtifacts(corpusArtifacts{cache: cache})
+	return cp, nil
+}
+
+// SaveTo writes the corpus's current live membership — trees, arena views,
+// and every token bag already cached — as a fresh persistent store at dir
+// (which must not already hold one). The corpus itself is untouched and stays
+// in-memory; Open(dir) later restores an equivalent corpus. Stable ids are
+// preserved, so a reopened corpus addresses the same trees by the same ids.
+func (cp *Corpus) SaveTo(dir string) error {
+	st := cp.state.Load()
+	lt := st.lt
+	if lt == nil {
+		lt = tree.NewLabelTable() // an empty corpus persists as an empty store
+	}
+	s, err := segstore.Create(dir, lt, segstore.Options{NoBackground: true})
+	if err != nil {
+		return fmt.Errorf("treejoin: save store: %w", err)
+	}
+	s.SetArtifacts(corpusArtifacts{cache: cp.cache})
+	ids := make([]int64, len(st.ids))
+	for i, id := range st.ids {
+		ids[i] = int64(id)
+	}
+	ts := slices.Clone(st.ts)
+	if err := s.Bulk(ids, ts, int64(st.nextID)); err != nil {
+		s.Close()
+		return fmt.Errorf("treejoin: save store: %w", err)
+	}
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("treejoin: save store: %w", err)
+	}
+	return nil
+}
+
+// Labels returns the corpus's label table: the table every tree added to it
+// must be built against. For a persistent corpus the table belongs to the
+// store and survives reopening; for an in-memory corpus it is the shared
+// table of the constructor's trees (nil until the first tree arrives).
+func (cp *Corpus) Labels() *LabelTable { return cp.state.Load().lt }
+
+// Close releases the corpus's backing store, flushing the memtable into a
+// final segment first, and waits for any background compaction to finish.
+// Further mutations fail; queries over the already-loaded state keep working.
+// Closing an in-memory corpus (or a Snapshot view) is a no-op.
+func (cp *Corpus) Close() error {
+	if cp.store == nil || cp.frozen {
+		return nil
+	}
+	cp.writeMu.Lock()
+	defer cp.writeMu.Unlock()
+	return cp.store.Close()
+}
+
+// Compact forces a full merge of the backing store's segments, dropping every
+// tombstoned entry; the no-live-posting-dropped invariant means a compacted
+// store answers every query exactly as before. Returns ErrNotPersistent for
+// an in-memory corpus. Routine compaction is automatic (the background
+// compactor runs once dead entries outnumber live ones); Compact is for
+// reclaiming space on demand.
+func (cp *Corpus) Compact() error {
+	if cp.store == nil || cp.frozen {
+		return ErrNotPersistent
+	}
+	return cp.store.Compact()
+}
+
+// StoreStats returns the backing store's statistics; ok is false (and the
+// stats zero) for an in-memory corpus.
+func (cp *Corpus) StoreStats() (stats StoreStats, ok bool) {
+	if cp.store == nil {
+		return StoreStats{}, false
+	}
+	return cp.store.Stats(), true
+}
+
+// WithMemtableBudget bounds how many trees a persistent corpus stages in its
+// WAL-backed memtable before flushing them into an immutable segment; n < 1
+// keeps the default (512). Smaller budgets bound recovery-replay time and
+// memory at the cost of more, smaller segments. Open-time option; no effect
+// on queries or on in-memory corpora.
+func WithMemtableBudget(n int) Option { return func(c *config) { c.memBudget = n } }
+
+// WithStoreNoSync disables per-operation fsync on the backing store's WAL and
+// per-commit fsync on its manifests and segments. Throughput for bulk loads
+// improves dramatically; the crash guarantee weakens from "every acknowledged
+// mutation survives" to "the store recovers to some consistent recent state".
+// Open-time option.
+func WithStoreNoSync() Option { return func(c *config) { c.storeNoSync = true } }
+
+// storeOptions maps the corpus-level config to store options.
+func (c config) storeOptions() segstore.Options {
+	return segstore.Options{
+		MemtableBudget: c.memBudget,
+		NoSync:         c.storeNoSync,
+	}
+}
+
+// corpusArtifacts lets the store serialise artifacts out of the corpus cache
+// at flush time (and build the missing ones) instead of recomputing from
+// scratch: arena views via the shared arena builder, token bags via the
+// persistence hooks keyed by tokenizer kind.
+type corpusArtifacts struct {
+	cache *engine.Cache
+}
+
+func (a corpusArtifacts) Views(ts []*tree.Tree) []*ted.TreeView {
+	return engine.ArenaFor(a.cache, ts)
+}
+
+func (a corpusArtifacts) BagKinds() []string {
+	kinds := engine.BagKinds(a.cache)
+	// Always persist the two kinds the built-in methods draw on, so a corpus
+	// saved before its first join still reopens warm for every method.
+	for _, tz := range builtinTokenizers() {
+		kind := "tokidx/" + tz.Name()
+		if !slices.Contains(kinds, kind) {
+			kinds = append(kinds, kind)
+		}
+	}
+	slices.Sort(kinds)
+	return kinds
+}
+
+func (a corpusArtifacts) Bags(kind string, ts []*tree.Tree) ([][]engine.BagEntry, bool) {
+	return engine.ExportBags(a.cache, kind, tokenizerFor(kind), ts)
+}
+
+// builtinTokenizers lists the tokenisations the built-in join methods use:
+// Euler q-grams (STR, EUL, PQG) and label histograms (SET, HIST).
+func builtinTokenizers() []engine.Tokenizer {
+	return []engine.Tokenizer{pqgram.Tokenizer(0), baseline.LabelTokenizer()}
+}
+
+// tokenizerFor resolves a persisted bag kind back to its tokenizer, or nil
+// for kinds no built-in method produces (those export cache-only: whatever a
+// custom integration cached persists, but nothing is built for it).
+func tokenizerFor(kind string) engine.Tokenizer {
+	for _, tz := range builtinTokenizers() {
+		if kind == "tokidx/"+tz.Name() {
+			return tz
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package treejoin_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"treejoin"
+	"treejoin/internal/synth"
+)
+
+// reintern rebuilds ts against lt (tree collections only join when they share
+// one label table; a persistent corpus owns its table, so test trees from
+// other generators are re-interned into it).
+func reintern(ts []*treejoin.Tree, lt *treejoin.LabelTable) []*treejoin.Tree {
+	out := make([]*treejoin.Tree, len(ts))
+	for i, t := range ts {
+		out[i] = treejoin.MustParseBracket(treejoin.FormatBracket(t), lt)
+	}
+	return out
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	ctx := context.Background()
+	dir := filepath.Join(t.TempDir(), "store")
+	cp, err := treejoin.Open(dir, treejoin.WithStoreNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cp.StoreStats(); !ok {
+		t.Fatal("persistent corpus reports no store stats")
+	}
+	pool := reintern(synth.Synthetic(30, 7), cp.Labels())
+	ids, err := cp.Add(pool...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Remove(ids[3], ids[17])
+	want, _, err := cp.SelfJoin(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Add(pool[0]); err == nil {
+		t.Fatal("Add after Close succeeded")
+	}
+
+	re, err := treejoin.Open(dir, treejoin.WithStoreNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(pool)-2 {
+		t.Fatalf("reopened corpus has %d trees, want %d", re.Len(), len(pool)-2)
+	}
+	// Stable ids survive the round trip: the removed ids stay gone, the rest
+	// resolve to trees equal to what was stored.
+	if _, ok := re.PosOf(ids[3]); ok {
+		t.Fatal("removed id resurrected by reopen")
+	}
+	p, ok := re.PosOf(ids[5])
+	if !ok {
+		t.Fatalf("id %d lost by reopen", ids[5])
+	}
+	if treejoin.FormatBracket(re.Tree(p)) != treejoin.FormatBracket(pool[5]) {
+		t.Fatalf("id %d maps to a different tree after reopen", ids[5])
+	}
+	got, _, err := re.SelfJoin(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reopened SelfJoin: %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("reopened SelfJoin pair %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	st, _ := re.StoreStats()
+	if st.SegmentsOpened == 0 {
+		t.Fatalf("reopen decoded no segments: %+v", st)
+	}
+	if st.MemtableTrees != 0 {
+		t.Fatalf("reopen after clean Close left memtable trees: %+v", st)
+	}
+}
+
+// TestStoreBeyondMemtableBudget is the out-of-core acceptance check: a corpus
+// whose membership exceeds the memtable budget many times over must stage
+// through multiple segment flushes and still join identically to a fresh
+// in-memory corpus over the same trees.
+func TestStoreBeyondMemtableBudget(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	cp, err := treejoin.Open(dir, treejoin.WithMemtableBudget(8), treejoin.WithStoreNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := reintern(synth.Synthetic(60, 11), cp.Labels())
+	// Add in small batches so flushes interleave with visible state.
+	for i := 0; i < len(pool); i += 5 {
+		if _, err := cp.Add(pool[i : i+5]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := cp.StoreStats()
+	if st.Segments < 2 || st.FlushRuns < 2 {
+		t.Fatalf("budget 8 with 60 trees did not spill to segments: %+v", st)
+	}
+	if st.MemtableTrees >= 8 {
+		t.Fatalf("memtable exceeds its budget: %+v", st)
+	}
+	checkSelfOracle(t, "beyond-budget", cp)
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := treejoin.Open(dir, treejoin.WithStoreNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	checkSelfOracle(t, "beyond-budget reopen", re)
+}
+
+func TestStoreCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	cp, err := treejoin.Open(dir, treejoin.WithMemtableBudget(8), treejoin.WithStoreNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	pool := reintern(synth.Synthetic(40, 13), cp.Labels())
+	ids, err := cp.Add(pool...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Remove(ids[:30]...)
+	if err := cp.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := cp.StoreStats()
+	if st.TombstonedTrees != 0 {
+		t.Fatalf("tombstones survived forced compaction: %+v", st)
+	}
+	if st.CompactionRuns == 0 {
+		t.Fatalf("compaction did not run: %+v", st)
+	}
+	checkSelfOracle(t, "compacted", cp)
+
+	mem, err := treejoin.NewCorpus(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Compact(); err != treejoin.ErrNotPersistent {
+		t.Fatalf("Compact on in-memory corpus: %v", err)
+	}
+	if _, ok := mem.StoreStats(); ok {
+		t.Fatal("in-memory corpus reports store stats")
+	}
+}
+
+func TestSaveToAndReopen(t *testing.T) {
+	ctx := context.Background()
+	pool := synth.Synthetic(50, 17)
+	cp := mustCorpus(t, pool)
+	// Warm the cache so SaveTo persists computed artifacts, not rebuilt ones.
+	if _, _, err := cp.SelfJoin(ctx, 2, treejoin.WithMethod(treejoin.MethodPQGram)); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := cp.SelfJoin(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "saved")
+	if err := cp.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.SaveTo(dir); err == nil {
+		t.Fatal("SaveTo over an existing store succeeded")
+	}
+
+	re, err := treejoin.Open(dir, treejoin.WithStoreNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(pool) {
+		t.Fatalf("reopened %d trees, want %d", re.Len(), len(pool))
+	}
+	// The reopened corpus starts warm: segment-resident views and token bags
+	// seed the cache before the first query.
+	if st := re.CacheStats(); st.Entries == 0 {
+		t.Fatalf("reopen seeded no artifacts: %+v", st)
+	}
+	got, _, err := re.SelfJoin(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SelfJoin after SaveTo/Open: %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
