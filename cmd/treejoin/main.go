@@ -5,10 +5,11 @@
 //
 //	treejoin -input trees.txt -tau 2 [-method PRT|STR|SET|BF|HIST|EUL|PQG]
 //	         [-prefilter HIST,SET] [-workers 4] [-shards 4] [-timeout 30s]
-//	         [-format bracket|newick|binary] [-stats] [-quiet]
+//	         [-format bracket|newick|binary] [-stats] [-quiet] [-fixed-plan]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	treejoin -input a.txt -other b.txt -tau 2
 //	treejoin -input trees.txt -topk 10
+//	treejoin -input trees.txt -tau 2 -explain
 //	treejoin -watch -tau 2 [-input seed.txt] < mutations.txt
 //	treejoin -store corpus.dir -tau 2 [-input more.txt]
 //	treejoin -store corpus.dir -compact [-stats]
@@ -23,7 +24,16 @@
 // table). With -prefilter, the named filter stages run in front of the
 // method, and -stats attributes the pruning per stage. With -topk K the
 // threshold is ignored and the K closest pairs are printed instead. With
-// -stats, a summary of where the join spent its time follows on stderr.
+// -stats, a summary of where the join spent its time follows on stderr,
+// including a "plan:" line describing the execution plan the run carried:
+// its candidate source, filter-chain order, prefix multiplier C, and origin
+// — "fixed" (the static default), "calibrated" (chosen from a sampled
+// probe), or "observed" (backed by completed-run feedback). Corpus joins
+// plan adaptively by default; -fixed-plan forces the static default plan.
+// With -explain the join does not run at all: the command prints the plan
+// the corpus would choose for this query, with the cost model's estimates
+// (window pairs, per-stage survival, expected candidates and stage times)
+// when the model has any.
 //
 // With -watch the command becomes a standing join over a mutating stream:
 // it reads one mutation per stdin line — a bracket-notation tree to add, or
@@ -92,6 +102,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the join after this duration (0: no limit)")
 		stats      = flag.Bool("stats", false, "print execution statistics to stderr")
 		quiet      = flag.Bool("quiet", false, "suppress pair output (useful with -stats)")
+		explain    = flag.Bool("explain", false, "print the execution plan and its cost estimates instead of running the join")
+		fixedPlan  = flag.Bool("fixed-plan", false, "disable adaptive planning; run the method's static default plan")
 		watch      = flag.Bool("watch", false, "read mutations (bracket tree to add, -N to remove id N) from stdin and emit join deltas")
 		store      = flag.String("store", "", "persistent corpus directory (created if absent); -input trees are durably added")
 		compact    = flag.Bool("compact", false, "force a compaction cycle on -store and exit (no join)")
@@ -126,6 +138,9 @@ func main() {
 		return
 	}
 	if *watch {
+		if *explain {
+			fail("-explain does not combine with -watch")
+		}
 		runWatch(*input, *format, *store, *tau, *topk, *other, *method, *prefilter, *shards, *workers, *timeout, *stats, *quiet)
 		return
 	}
@@ -198,6 +213,9 @@ func main() {
 	if *shards > 1 {
 		opts = append(opts, treejoin.WithShards(*shards))
 	}
+	if *fixedPlan {
+		opts = append(opts, treejoin.WithFixedPlan())
+	}
 	if *prefilter != "" {
 		var fs []treejoin.Prefilter
 		for _, name := range strings.Split(*prefilter, ",") {
@@ -233,6 +251,24 @@ func main() {
 	// handler so a second interrupt kills the process the usual way instead
 	// of being swallowed while partial results print.
 	context.AfterFunc(ctx, stop)
+
+	if *explain {
+		switch {
+		case *topk > 0:
+			fail("-explain does not combine with -topk")
+		case *other != "":
+			fail("-explain does not combine with -other (explanations cover self joins)")
+		}
+		ex, err := corpus.Explain(ctx, *tau, opts...)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(ex)
+		if err := corpus.Close(); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 
 	var pairs []treejoin.Pair
 	var st treejoin.Stats
@@ -320,6 +356,10 @@ func printStats(m treejoin.Method, tau int, st treejoin.Stats) {
 	fmt.Fprintf(os.Stderr, "method:      %s, tau=%d\n", m, tau)
 	if st.Source != "" {
 		fmt.Fprintf(os.Stderr, "source:      %s\n", st.Source)
+	}
+	if st.Plan.Source != "" {
+		fmt.Fprintf(os.Stderr, "plan:        source=%s chain=[%s] C=%d origin=%s\n",
+			st.Plan.Source, strings.Join(st.Plan.Chain, " "), st.Plan.PrefixC, st.Plan.Origin)
 	}
 	fmt.Fprintf(os.Stderr, "candidates:  %d\n", st.Candidates)
 	fmt.Fprintf(os.Stderr, "results:     %d\n", st.Results)

@@ -12,6 +12,7 @@ import (
 
 	"treejoin/internal/core"
 	"treejoin/internal/engine"
+	"treejoin/internal/engine/plan"
 	"treejoin/internal/segstore"
 	"treejoin/internal/sim"
 	"treejoin/internal/tree"
@@ -146,6 +147,13 @@ type Corpus struct {
 	store      *segstore.Store
 	persistent bool
 
+	// planner is the corpus's learned cost model behind WithAutoPlan (the
+	// default): per-stage selectivity and cost observed from completed runs,
+	// decayed per mutation epoch. Shared with Snapshot views — a snapshot's
+	// runs teach the same model, down-weighted by the epochs they lag. See
+	// internal/engine/plan and autoplan.go.
+	planner *plan.Model
+
 	mu            sync.Mutex
 	searchers     map[searcherKey]*core.KNN
 	searcherEpoch int64
@@ -212,6 +220,7 @@ func NewCorpus(ts []*Tree, opts ...Option) (*Corpus, error) {
 		cache:     engine.NewCache(),
 		indexCap:  c.indexCap,
 		searchers: make(map[searcherKey]*core.KNN),
+		planner:   plan.New(),
 	}
 	cp.state.Store(st)
 	return cp, nil
@@ -274,6 +283,7 @@ func (cp *Corpus) Snapshot() *Corpus {
 		frozen:    true,
 		parent:    parent,
 		searchers: make(map[searcherKey]*core.KNN),
+		planner:   cp.planner,
 	}
 	st := cp.state.Load()
 	s.state.Store(st)
@@ -518,18 +528,22 @@ func (cp *Corpus) dynTokens(st *corpusState) func(engine.Tokenizer) *engine.Toke
 // error.
 func (cp *Corpus) SelfJoin(ctx context.Context, tau int, opts ...Option) ([]Pair, Stats, error) {
 	c := buildConfig(opts)
-	job, err := c.jobChecked(tau)
+	job, tz, err := c.pipelineChecked(tau)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	st := cp.state.Load()
 	job.Cache = cp.runCache()
 	job.DynTokens = cp.dynTokens(st)
+	job, _ = cp.planJob(ctx, c, job, tz, st.ts, -1, st.epoch)
 	var pairs []Pair
 	stats, err := job.StreamSelf(ctx, st.ts, func(p Pair) bool {
 		pairs = append(pairs, p)
 		return true
 	})
+	if err == nil {
+		cp.observeRun(stats, st.ts, -1, tau, st.epoch)
+	}
 	sim.SortPairs(pairs)
 	c.publishStats(stats)
 	return pairs, *stats, err
@@ -548,15 +562,19 @@ func (cp *Corpus) SelfJoin(ctx context.Context, tau int, opts ...Option) ([]Pair
 // running (or re-run) iteration.
 func (cp *Corpus) SelfJoinSeq(ctx context.Context, tau int, opts ...Option) (iter.Seq[Pair], error) {
 	c := buildConfig(opts)
-	job, err := c.jobChecked(tau)
+	job, tz, err := c.pipelineChecked(tau)
 	if err != nil {
 		return nil, err
 	}
 	st := cp.state.Load()
 	job.Cache = cp.runCache()
 	job.DynTokens = cp.dynTokens(st)
+	job, _ = cp.planJob(ctx, c, job, tz, st.ts, -1, st.epoch)
 	return func(yield func(Pair) bool) {
-		stats, _ := job.StreamSelf(ctx, st.ts, sim.EmitFunc(yield))
+		stats, err := job.StreamSelf(ctx, st.ts, sim.EmitFunc(yield))
+		if err == nil {
+			cp.observeRun(stats, st.ts, -1, tau, st.epoch)
+		}
 		c.publishStats(stats)
 	}, nil
 }
@@ -568,15 +586,18 @@ func (cp *Corpus) SelfJoinSeq(ctx context.Context, tau int, opts ...Option) (ite
 // against the same partner warm up too.
 func (cp *Corpus) Join(ctx context.Context, other *Corpus, tau int, opts ...Option) ([]Pair, Stats, error) {
 	c := buildConfig(opts)
-	job, a, b, err := cp.crossJob(c, other, tau)
+	run, err := cp.crossJob(ctx, c, other, tau)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	var pairs []Pair
-	st, err := job.StreamJoin(ctx, a, b, func(p Pair) bool {
+	st, err := run.job.StreamJoin(ctx, run.a, run.b, func(p Pair) bool {
 		pairs = append(pairs, p)
 		return true
 	})
+	if err == nil {
+		cp.observeRun(st, run.comb, len(run.a), tau, run.epoch)
+	}
 	sim.SortPairs(pairs)
 	c.publishStats(st)
 	return pairs, *st, err
@@ -585,34 +606,50 @@ func (cp *Corpus) Join(ctx context.Context, other *Corpus, tau int, opts ...Opti
 // JoinSeq is the streaming Join, with SelfJoinSeq's contract.
 func (cp *Corpus) JoinSeq(ctx context.Context, other *Corpus, tau int, opts ...Option) (iter.Seq[Pair], error) {
 	c := buildConfig(opts)
-	job, a, b, err := cp.crossJob(c, other, tau)
+	run, err := cp.crossJob(ctx, c, other, tau)
 	if err != nil {
 		return nil, err
 	}
 	return func(yield func(Pair) bool) {
-		st, _ := job.StreamJoin(ctx, a, b, sim.EmitFunc(yield))
+		st, err := run.job.StreamJoin(ctx, run.a, run.b, sim.EmitFunc(yield))
+		if err == nil {
+			cp.observeRun(st, run.comb, len(run.a), tau, run.epoch)
+		}
 		c.publishStats(st)
 	}, nil
 }
 
+// crossRun is one assembled (and planned) cross join: the job, both sides'
+// pinned memberships, their concatenation for the planner's bookkeeping,
+// and the receiver's epoch the plan was made at.
+type crossRun struct {
+	job   engine.Job
+	a, b  []*Tree
+	comb  []*Tree
+	epoch int64
+}
+
 // crossJob validates a cross join against other, snapshots both corpora's
 // states (the join runs against exactly these memberships even when either
-// side mutates mid-run), and assembles its job. The run's cache routes each
-// tree's artifacts to the corpus that owns it, so both sides warm their own
-// caches and neither retains (and pins) the other's trees; trees belonging
-// to neither side — including trees either side has since removed — land
-// in a run-local overflow that dies with the query.
-func (cp *Corpus) crossJob(c config, other *Corpus, tau int) (engine.Job, []*Tree, []*Tree, error) {
+// side mutates mid-run), assembles its job, and lets the receiver's cost
+// model plan it (the model never calibrates on cross joins — it plans from
+// whatever self-join observations it holds, or emits the fixed plan). The
+// run's cache routes each tree's artifacts to the corpus that owns it, so
+// both sides warm their own caches and neither retains (and pins) the
+// other's trees; trees belonging to neither side — including trees either
+// side has since removed — land in a run-local overflow that dies with the
+// query.
+func (cp *Corpus) crossJob(ctx context.Context, c config, other *Corpus, tau int) (crossRun, error) {
 	if other == nil {
-		return engine.Job{}, nil, nil, ErrNilCorpus
+		return crossRun{}, ErrNilCorpus
 	}
 	sa, sb := cp.state.Load(), other.state.Load()
 	if sa.lt != nil && sb.lt != nil && sa.lt != sb.lt {
-		return engine.Job{}, nil, nil, fmt.Errorf("%w (cross join)", ErrLabelTable)
+		return crossRun{}, fmt.Errorf("%w (cross join)", ErrLabelTable)
 	}
-	job, err := c.jobChecked(tau)
+	job, tz, err := c.pipelineChecked(tau)
 	if err != nil {
-		return engine.Job{}, nil, nil, err
+		return crossRun{}, err
 	}
 	ra, rb := cp.runCache(), other.runCache()
 	job.Cache = engine.RoutedCache(func(t *tree.Tree) *engine.Cache {
@@ -621,7 +658,10 @@ func (cp *Corpus) crossJob(c config, other *Corpus, tau int) (engine.Job, []*Tre
 		}
 		return ra
 	})
-	return job, sa.ts, sb.ts, nil
+	comb := make([]*Tree, 0, len(sa.ts)+len(sb.ts))
+	comb = append(append(comb, sa.ts...), sb.ts...)
+	job, _ = cp.planJob(ctx, c, job, tz, comb, len(sa.ts), sa.epoch)
+	return crossRun{job: job, a: sa.ts, b: sb.ts, comb: comb, epoch: sa.epoch}, nil
 }
 
 // Search reports every corpus tree within TED tau of q, in ascending corpus
@@ -721,6 +761,9 @@ func (c config) requirePartSJ(op string, allowShards bool) error {
 	}
 	if !allowShards && c.shards > 1 {
 		return fmt.Errorf("%w: %s does not shard", ErrOptionConflict, op)
+	}
+	if len(c.planSpecs) > 0 {
+		return fmt.Errorf("%w: %s does not take a fixed plan spec", ErrOptionConflict, op)
 	}
 	return nil
 }

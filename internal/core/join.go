@@ -57,6 +57,12 @@ func (o Options) Job(shards int, filters []engine.PairFilter) engine.Job {
 	if o.HybridVerify && o.Verifier == nil {
 		job.VerifierFor = HybridVerifier
 	}
+	// PartSJ's candidate source is its own subgraph index — never a planner
+	// choice — so every PartSJ run carries this fixed plan record.
+	job.Plan = sim.PlanRecord{Source: "partsj", Chain: make([]string, len(filters)), Origin: "fixed"}
+	for i, f := range filters {
+		job.Plan.Chain[i] = f.Name()
+	}
 	return job
 }
 

@@ -52,6 +52,10 @@ type Collection struct {
 	// Sources that can decompose candidate generation cheaply use it as
 	// their default task count.
 	Workers int
+	// PrefixC carries Job.PrefixC: the token-index source's prefix-length
+	// multiplier override (0 or values at most the tokenizer's Slack leave
+	// the default Slack()·τ+1 prefix).
+	PrefixC int
 
 	ctx       context.Context
 	cache     *Cache
@@ -119,6 +123,16 @@ func newCollection(ctx context.Context, ts []*tree.Tree, split, tau, workers int
 		c.sizes[p] = ts[ti].Size()
 	}
 	return c
+}
+
+// NewProbeCollection builds a Collection view over ts for calibration
+// probes, outside any job: same size ordering, windowing, and artifact-cache
+// routing as a real run's collection (so a probe's signature computations
+// warm the same cache the run will hit), sized for a single caller. The plan
+// package prepares individual filters against it and times their predicates
+// over sampled window pairs.
+func NewProbeCollection(ctx context.Context, ts []*tree.Tree, tau int, cache *Cache) *Collection {
+	return newCollection(ctx, ts, -1, tau, 1, cache, nil)
 }
 
 // PairFilter is one pipeline stage: a cheap pair-level test that may prune a
@@ -214,11 +228,12 @@ func (e *emitter) emit(p sim.Pair) bool {
 // subgraph-match tests after the prefilters) call Screen and Emit separately
 // so the chain prunes a pair before the source spends effort on it.
 type Pipeline struct {
-	c      *Collection
-	preds  []func(i, j int) bool
-	counts []sim.StageStats
-	cands  []sim.Candidate
-	stats  sim.Stats
+	c        *Collection
+	preds    []func(i, j int) bool
+	counts   []sim.StageStats
+	cands    []sim.Candidate
+	stats    sim.Stats
+	screened uint64 // pairs screened so far, for cost sampling
 
 	// Sequential jobs verify candidates in bounded chunks as they are
 	// emitted (Algorithm 1's interleaving, generalised), streaming results
@@ -265,12 +280,43 @@ func (px *Pipeline) Collection() *Collection { return px.c }
 // merges all task sinks into the join's Stats.
 func (px *Pipeline) Stats() *sim.Stats { return &px.stats }
 
+// screenSampleMask selects every 64th screened pair of a task for per-stage
+// cost timing: two clock reads per stage on 1/64 of the pairs is invisible
+// in a profile, yet a paper-scale join samples thousands of calls per stage
+// — plenty for the planner's per-pair cost estimate.
+const screenSampleMask = 63
+
 // Screen runs the filter chain over pair (i, j) and reports whether it
 // survives every stage. Each pair must be screened at most once per join.
+// Every 64th call per task additionally times each stage's predicate,
+// feeding the sampled per-pair cost the plan package's chain ordering runs
+// on (StageStats.SampledNs/Sampled).
 func (px *Pipeline) Screen(i, j int) bool {
+	sampled := px.screened&screenSampleMask == 0
+	px.screened++
+	if sampled {
+		return px.screenTimed(i, j)
+	}
 	for k := range px.preds {
 		px.counts[k].In++
 		if !px.preds[k](i, j) {
+			px.counts[k].Pruned++
+			return false
+		}
+	}
+	return true
+}
+
+// screenTimed is Screen's sampled path: identical screening, plus per-stage
+// predicate timing.
+func (px *Pipeline) screenTimed(i, j int) bool {
+	for k := range px.preds {
+		px.counts[k].In++
+		start := time.Now()
+		ok := px.preds[k](i, j)
+		px.counts[k].SampledNs += time.Since(start).Nanoseconds()
+		px.counts[k].Sampled++
+		if !ok {
 			px.counts[k].Pruned++
 			return false
 		}
@@ -331,6 +377,15 @@ type Job struct {
 	// index when the snapshot covers exactly the run's collection; results
 	// are identical either way.
 	DynTokens func(Tokenizer) *TokenSnap
+	// PrefixC, when above the source tokenizer's Slack(), grows the token
+	// index's per-tree indexed prefix to PrefixC·τ+1 expanded elements
+	// (default Slack()·τ+1). Any such value is sound — a longer prefix is a
+	// superset of the proven one and sharpens the count threshold — so the
+	// planner may tune it freely; values at or below Slack() are ignored.
+	PrefixC int
+	// Plan is the execution-plan record the caller stamps into the run's
+	// Stats (Stats.Plan) for diagnostics; the engine does not interpret it.
+	Plan sim.PlanRecord
 }
 
 // SelfJoin runs the job over one collection and reports every unordered pair
@@ -401,8 +456,10 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 	if source == nil {
 		source = SortedLoop()
 	}
+	stats.Plan = job.Plan
 	em := &emitter{sink: sink, split: split, cancel: cancel}
 	c := newCollection(ctx, ts, split, job.Tau, job.Workers, job.Cache, job.DynTokens)
+	c.PrefixC = job.PrefixC
 
 	// Prepare the filter chain once over the combined collection; stage
 	// preparation time is candidate-generation effort. One stage's
@@ -499,6 +556,8 @@ func (job Job) stream(outer context.Context, ts []*tree.Tree, split int, sink si
 		for k := range px.counts {
 			stats.Stages[k].In += px.counts[k].In
 			stats.Stages[k].Pruned += px.counts[k].Pruned
+			stats.Stages[k].SampledNs += px.counts[k].SampledNs
+			stats.Stages[k].Sampled += px.counts[k].Sampled
 		}
 		if px.bv != nil {
 			px.bv.Close()

@@ -245,7 +245,19 @@ func (s tokenIndexSource) run(px *Pipeline) {
 	start := time.Now()
 
 	ctau := s.tz.Slack() * c.Tau
-	budget := int32(ctau + 1) // expanded prefix length Cτ+1
+	// The indexed prefix spends C'τ+1 expanded elements, where C' is the
+	// tokenizer's Slack unless the planner raised it (Collection.PrefixC). A
+	// longer prefix is always sound — it is a superset of the proven
+	// Slack·τ+1 prefix, so the theorem's shared token is still indexed — and
+	// it sharpens the count threshold below, which charges a partner for the
+	// bag elements outside its prefix. Everything stated on the bag bound
+	// itself (the light-tree cutoff, the overlap floor |A| − Cτ) stays at
+	// Slack·τ: those are lower-bound facts the prefix length cannot change.
+	cmul := s.tz.Slack()
+	if c.PrefixC > cmul {
+		cmul = c.PrefixC
+	}
+	budget := int32(cmul*c.Tau + 1) // expanded prefix length C'τ+1
 
 	// Build phase: cached bags, global frequency ranks, per-tree prefixes.
 	tz := s.tz

@@ -6,7 +6,9 @@ import (
 	"treejoin/internal/baseline"
 	"treejoin/internal/core"
 	"treejoin/internal/engine"
+	"treejoin/internal/engine/plan"
 	"treejoin/internal/pqgram"
+	"treejoin/internal/sim"
 )
 
 // Method selects the join algorithm. All methods return identical result
@@ -126,6 +128,8 @@ type config struct {
 	hybrid     bool
 	unbanded   bool
 	sortedLoop bool
+	fixedPlan  bool
+	planSpecs  []PlanSpec
 	seed       int64
 	prefilters []Prefilter
 	statsDst   *Stats
@@ -272,6 +276,23 @@ func (c config) validate() error {
 			return fmt.Errorf("%w %d", ErrUnknownPrefilter, int(p))
 		}
 	}
+	for _, s := range c.planSpecs {
+		switch s.Source {
+		case PlanSourceDefault, PlanSourceTokenIndex, PlanSourceSortedLoop:
+		default:
+			return fmt.Errorf("%w: unknown plan source %d", ErrOptionConflict, int(s.Source))
+		}
+		for _, p := range s.Chain {
+			switch p {
+			case PrefilterHistogram, PrefilterSTR, PrefilterSET, PrefilterEulerString, PrefilterPQGram:
+			default:
+				return fmt.Errorf("%w %d", ErrUnknownPrefilter, int(p))
+			}
+		}
+		if s.PrefixC < 0 {
+			return fmt.Errorf("%w: negative prefix multiplier %d", ErrOptionConflict, s.PrefixC)
+		}
+	}
 	return nil
 }
 
@@ -286,18 +307,30 @@ func (c config) coreOptions(tau int) core.Options {
 	}
 }
 
-// jobChecked assembles the engine pipeline for the configured method: its
-// candidate source, the prefilter chain followed by the method's own filter,
-// and the execution knobs. This is the single dispatch point behind the
-// Corpus queries and the legacy SelfJoin and Join; invalid input comes back
-// as an error.
+// jobChecked assembles the engine pipeline for the configured method; see
+// pipelineChecked, which additionally exposes the planning seam.
 func (c config) jobChecked(tau int) (engine.Job, error) {
+	job, _, err := c.pipelineChecked(tau)
+	return job, err
+}
+
+// pipelineChecked assembles the engine pipeline for the configured method:
+// its candidate source, the prefilter chain followed by the method's own
+// filter, and the execution knobs — with any WithFixedPlan spec applied and
+// the resulting fixed plan record stamped into the job. This is the single
+// dispatch point behind the Corpus queries and the legacy SelfJoin and Join;
+// invalid input comes back as an error. The returned tokenizer is non-nil
+// exactly when the method's candidate source is the token index family —
+// the seam the corpus's adaptive planner hangs off (a nil tokenizer means
+// the source is not the planner's to choose).
+func (c config) pipelineChecked(tau int) (engine.Job, engine.Tokenizer, error) {
 	if tau < 0 {
-		return engine.Job{}, fmt.Errorf("%w %d", ErrNegativeThreshold, tau)
+		return engine.Job{}, nil, fmt.Errorf("%w %d", ErrNegativeThreshold, tau)
 	}
 	if err := c.validate(); err != nil {
-		return engine.Job{}, err
+		return engine.Job{}, nil, err
 	}
+	spec, hasSpec := c.mergedPlanSpec()
 	filters := make([]engine.PairFilter, 0, len(c.prefilters)+1)
 	for _, p := range c.prefilters {
 		filters = append(filters, p.stage())
@@ -309,37 +342,110 @@ func (c config) jobChecked(tau int) (engine.Job, error) {
 	// loop's pairs and every offered pair still runs the same filter chain,
 	// so results are identical; WithSortedLoop restores the loop for
 	// ablation.
-	var src engine.CandidateSource
+	var tz engine.Tokenizer
 	switch c.method {
 	case MethodPartSJ:
-		return c.applyVerifier(c.coreOptions(tau).Job(c.shards, filters)), nil
+		if hasSpec {
+			if spec.Source != PlanSourceDefault {
+				return engine.Job{}, nil, fmt.Errorf("%w: %v generates candidates through the PartSJ index; its plan cannot pick a source", ErrOptionConflict, c.method)
+			}
+			if spec.PrefixC > 0 {
+				return engine.Job{}, nil, fmt.Errorf("%w: %v takes no prefix multiplier", ErrOptionConflict, c.method)
+			}
+			if spec.Chain != nil {
+				filters = chainStages(spec.Chain)
+			}
+		}
+		return c.applyVerifier(c.coreOptions(tau).Job(c.shards, filters)), nil, nil
 	case MethodSTR:
 		filters = append(filters, baseline.STRFilter())
-		src = engine.TokenIndex(pqgram.Tokenizer(0))
+		tz = pqgram.Tokenizer(0)
 	case MethodSET:
 		filters = append(filters, baseline.SETFilter())
-		src = engine.TokenIndex(baseline.LabelTokenizer())
+		tz = baseline.LabelTokenizer()
 	case MethodHistogram:
 		filters = append(filters, baseline.HISTFilter())
-		src = engine.TokenIndex(baseline.LabelTokenizer())
+		tz = baseline.LabelTokenizer()
 	case MethodEulerString:
 		filters = append(filters, baseline.EULFilter())
-		src = engine.TokenIndex(pqgram.Tokenizer(0))
+		tz = pqgram.Tokenizer(0)
 	case MethodPQGram:
 		filters = append(filters, pqgram.Filter(0))
-		src = engine.TokenIndex(pqgram.Tokenizer(0))
+		tz = pqgram.Tokenizer(0)
 	case MethodBruteForce:
 		// Size window only — no lower bound to index on; always the loop.
 	}
-	if c.sortedLoop {
-		src = nil // engine default: SortedLoop
+	useIndex := tz != nil && !c.sortedLoop
+	prefixC := 0
+	if hasSpec {
+		if spec.Chain != nil {
+			filters = chainStages(spec.Chain)
+		}
+		switch spec.Source {
+		case PlanSourceTokenIndex:
+			if tz == nil {
+				return engine.Job{}, nil, fmt.Errorf("%w: %v has no token-index source", ErrOptionConflict, c.method)
+			}
+			if c.sortedLoop {
+				return engine.Job{}, nil, fmt.Errorf("%w: WithSortedLoop pins the loop; the plan asks for the token index", ErrOptionConflict)
+			}
+		case PlanSourceSortedLoop:
+			useIndex = false
+		}
+		if spec.PrefixC > 0 {
+			if !useIndex {
+				return engine.Job{}, nil, fmt.Errorf("%w: a prefix multiplier needs the token-index source", ErrOptionConflict)
+			}
+			prefixC = spec.PrefixC
+		}
 	}
-	return c.applyVerifier(engine.Job{
+	var src engine.CandidateSource
+	if useIndex {
+		src = engine.TokenIndex(tz)
+	}
+	job := engine.Job{
 		Source:  src,
 		Filters: filters,
 		Tau:     tau,
 		Workers: c.workers,
-	}), nil
+		PrefixC: prefixC,
+	}
+	job.Plan = fixedPlanRecord(job, tz)
+	return c.applyVerifier(job), tz, nil
+}
+
+// chainStages maps a fixed-plan chain to engine filters, in order.
+func chainStages(ps []Prefilter) []engine.PairFilter {
+	fs := make([]engine.PairFilter, len(ps))
+	for i, p := range ps {
+		fs[i] = p.stage()
+	}
+	return fs
+}
+
+// fixedPlanRecord describes an assembled job's static plan for Stats.Plan.
+// It records the plan, not the run: a token-index plan whose collection
+// trips the index's own fallback still executes the loop, and Stats.Source
+// reports that effective source.
+func fixedPlanRecord(job engine.Job, tz engine.Tokenizer) sim.PlanRecord {
+	rec := sim.PlanRecord{
+		Source: plan.SourceSortedLoop,
+		Chain:  make([]string, len(job.Filters)),
+		Origin: plan.OriginFixed,
+	}
+	for i, f := range job.Filters {
+		rec.Chain[i] = f.Name()
+	}
+	if job.Source != nil {
+		rec.Source = plan.NormalizeSource(job.Source.Name())
+	}
+	if tz != nil && job.Source != nil {
+		rec.PrefixC = tz.Slack()
+		if job.PrefixC > rec.PrefixC {
+			rec.PrefixC = job.PrefixC
+		}
+	}
+	return rec
 }
 
 // applyVerifier applies the verification-stage options to an assembled job:

@@ -10,6 +10,7 @@ import (
 	"treejoin/internal/baseline"
 	"treejoin/internal/core"
 	"treejoin/internal/engine"
+	"treejoin/internal/engine/plan"
 	"treejoin/internal/pqgram"
 	"treejoin/internal/segstore"
 	"treejoin/internal/ted"
@@ -98,6 +99,7 @@ func corpusFromStore(s *segstore.Store, c config) (*Corpus, error) {
 		searchers:  make(map[searcherKey]*core.KNN),
 		store:      s,
 		persistent: true,
+		planner:    plan.New(),
 	}
 	cp.state.Store(st)
 	s.SetArtifacts(corpusArtifacts{cache: cache})
