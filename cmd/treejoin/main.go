@@ -13,6 +13,8 @@
 //	treejoin -watch -tau 2 [-input seed.txt] < mutations.txt
 //	treejoin -store corpus.dir -tau 2 [-input more.txt]
 //	treejoin -store corpus.dir -compact [-stats]
+//	treejoin -store corpus.dir -scrub
+//	treejoin -store corpus.dir -salvage
 //	treejoin -store corpus.dir -watch -tau 2 < mutations.txt
 //
 // The dataset holds one tree per line (bracket or Newick notation) or is a
@@ -54,7 +56,14 @@
 // formats only — the store owns the label table) are durably added before the
 // join runs, so repeated invocations accumulate; without -input the join runs
 // over whatever the store holds. -compact forces a compaction cycle (merging
-// segments and dropping tombstones) instead of joining. A -store -watch
+// segments and dropping tombstones) instead of joining. -scrub re-verifies
+// the store's integrity end to end — manifest decode, per-segment checksums,
+// and every block re-hashed against its stored content address — and exits
+// non-zero naming the faulty files if anything fails. -salvage opens a store
+// that -scrub (or a refused open) showed to be corrupt, quarantining each
+// unreadable segment as <name>.quarantine, printing what was set aside with
+// bounds on the lost tree ids, and committing a manifest over the surviving
+// corpus so later plain opens succeed. A -store -watch
 // session journals every mutation through the store's write-ahead log before
 // emitting its delta — kill the process at any point and reopen to find every
 // acknowledged add and removal intact — and ids in deltas and removals are
@@ -107,6 +116,8 @@ func main() {
 		watch      = flag.Bool("watch", false, "read mutations (bracket tree to add, -N to remove id N) from stdin and emit join deltas")
 		store      = flag.String("store", "", "persistent corpus directory (created if absent); -input trees are durably added")
 		compact    = flag.Bool("compact", false, "force a compaction cycle on -store and exit (no join)")
+		scrub      = flag.Bool("scrub", false, "re-verify every checksum and content address of -store and exit (no join)")
+		salvage    = flag.Bool("salvage", false, "open -store quarantining corrupt segments (*.quarantine), report the loss, and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -115,6 +126,54 @@ func main() {
 		fail("%v", err)
 	}
 	defer stopProfiles()
+	if *scrub {
+		if *store == "" {
+			fail("-scrub requires -store")
+		}
+		cp, err := treejoin.Open(*store)
+		if err != nil {
+			// A store the open path already refuses is the scrub's verdict
+			// too — the decode error names the faulty file.
+			fail("scrub: FAULT %v (re-open with -salvage to quarantine and keep the readable rest)", err)
+		}
+		rep, serr := cp.Scrub()
+		fmt.Fprintf(os.Stderr, "scrub: %d segments, %d blocks, %d entries verified, %d fault(s)\n",
+			rep.Segments, rep.Blocks, rep.Entries, len(rep.Faults))
+		for _, f := range rep.Faults {
+			name := f.Name
+			if name == "" {
+				name = "MANIFEST"
+			}
+			fmt.Fprintf(os.Stderr, "scrub: FAULT %s: %s\n", name, f.Err)
+		}
+		if err := cp.Close(); err != nil {
+			fail("%v", err)
+		}
+		if serr != nil {
+			fail("%v (re-open with -salvage to quarantine and keep the readable rest)", serr)
+		}
+		return
+	}
+	if *salvage {
+		if *store == "" {
+			fail("-salvage requires -store")
+		}
+		cp, err := treejoin.Open(*store, treejoin.WithSalvage())
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, q := range cp.SalvageReport() {
+			fmt.Fprintf(os.Stderr, "salvage: quarantined %s (%d entries, up to %d live trees lost, ids in (%d, %d)): %s\n",
+				q.Name, q.Entries, q.Live, q.IDAfter, q.IDBefore, q.Err)
+		}
+		st, _ := cp.StoreStats()
+		fmt.Fprintf(os.Stderr, "salvage: %d segment(s) quarantined, %d trees live\n",
+			st.QuarantinedSegments, st.LiveTrees)
+		if err := cp.Close(); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 	if *compact {
 		if *store == "" {
 			fail("-compact requires -store")

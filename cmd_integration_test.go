@@ -303,6 +303,80 @@ func TestCLITedcalc(t *testing.T) {
 	}
 }
 
+// TestCLIScrubSalvage: the integrity tooling end to end through the command —
+// a clean store scrubs clean; a segment corrupted on disk fails -scrub by
+// name; -salvage quarantines it, keeps the other segment's trees, and leaves
+// a store that scrubs clean and joins again.
+func TestCLIScrubSalvage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "corpus")
+	writeTrees := func(name string, trees []string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(strings.Join(trees, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Two ingest runs → two segments (each run's Close flushes its memtable).
+	in1 := writeTrees("a.txt", []string{"{a{b}{c}}", "{a{b}{d}}", "{a{b}}"})
+	in2 := writeTrees("b.txt", []string{"{x{y}{z}}", "{x{y}}"})
+	for _, in := range []string{in1, in2} {
+		if _, stderr, err := runTool(t, "treejoin", "-store", storeDir, "-input", in, "-tau", "1", "-quiet"); err != nil {
+			t.Fatalf("ingest: %v\nstderr: %s", err, stderr)
+		}
+	}
+	_, stderr, err := runTool(t, "treejoin", "-store", storeDir, "-scrub")
+	if err != nil {
+		t.Fatalf("scrub of a healthy store: %v\nstderr: %s", err, stderr)
+	}
+	if !strings.Contains(stderr, "0 fault(s)") {
+		t.Fatalf("clean scrub summary missing: %s", stderr)
+	}
+	// Bit rot hits the first segment.
+	segs, err := filepath.Glob(filepath.Join(storeDir, "seg-*.tjsg"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want ≥2 segments, got %v (%v)", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr, err = runTool(t, "treejoin", "-store", storeDir, "-scrub"); err == nil {
+		t.Fatalf("scrub missed the corruption: %s", stderr)
+	}
+	if !strings.Contains(stderr, "FAULT") || !strings.Contains(stderr, filepath.Base(segs[0])) {
+		t.Fatalf("faulty segment not named: %s", stderr)
+	}
+	if _, stderr, err = runTool(t, "treejoin", "-store", storeDir, "-salvage"); err != nil {
+		t.Fatalf("salvage: %v\nstderr: %s", err, stderr)
+	}
+	if !strings.Contains(stderr, "quarantined "+filepath.Base(segs[0])) {
+		t.Fatalf("salvage report missing: %s", stderr)
+	}
+	if _, err := os.Stat(segs[0] + ".quarantine"); err != nil {
+		t.Fatalf("quarantine file not preserved: %v", err)
+	}
+	// The salvaged store is healthy: clean scrub, working join over the
+	// surviving trees.
+	if _, stderr, err = runTool(t, "treejoin", "-store", storeDir, "-scrub"); err != nil {
+		t.Fatalf("scrub after salvage: %v\nstderr: %s", err, stderr)
+	}
+	stdout, stderr, err := runTool(t, "treejoin", "-store", storeDir, "-tau", "1")
+	if err != nil {
+		t.Fatalf("join after salvage: %v\nstderr: %s", err, stderr)
+	}
+	if len(nonEmptyLines(stdout)) == 0 {
+		t.Fatalf("surviving segment's near-pair lost: %q", stdout)
+	}
+}
+
 func nonEmptyLines(s string) []string {
 	var out []string
 	for _, l := range strings.Split(s, "\n") {

@@ -129,6 +129,73 @@ func TestCrashRecoveryProperty(t *testing.T) {
 	}
 }
 
+// TestPowerCutMultiFileCommit cuts power at every filesystem operation of one
+// memtable flush — a commit spanning three files (segment write, manifest
+// tmp+rename, WAL rewrite tmp+rename) plus the directory fsyncs between them.
+// Unlike the WAL-tail cuts above, these crash images can hold any interleaving
+// of the commit's files: segment without manifest, new manifest with stale
+// WAL, torn halves of each. Every image must reopen to either the pre-flush
+// or the post-flush state; once the triggering Add was acknowledged, sync-on
+// durability demands exactly the post state.
+func TestPowerCutMultiFileCommit(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for cut := 0; ; cut++ {
+		fs := newErrFS()
+		s, err := Create("store", nil, Options{MemtableBudget: 3, NoBackground: true, FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two acknowledged trees below budget; the third add flushes.
+		setup := rand.New(rand.NewSource(77))
+		model := modelState{}
+		for i := 0; i < 2; i++ {
+			tr := randTestTree(setup, s.Labels(), 8)
+			id := s.NextID()
+			if err := s.Add(id, tr); err != nil {
+				t.Fatal(err)
+			}
+			model.ids = append(model.ids, id)
+			model.trees = append(model.trees, tr)
+		}
+		pre := model.clone()
+		fs.arm(fPowerCut, cut)
+		tr := randTestTree(rng, s.Labels(), 8)
+		id := s.NextID()
+		err = s.Add(id, tr)
+		post := model.clone()
+		post.ids = append(post.ids, id)
+		post.trees = append(post.trees, tr)
+		allowed := []modelState{pre, post}
+		if err == nil && fs.cutHit() {
+			// Acknowledged before the cut landed in the flush: the add is
+			// durable, only the post state is acceptable.
+			allowed = []modelState{post}
+		}
+		for _, frac := range []float64{0, 0.5, 1} {
+			img := fs.crashImage(frac)
+			s2, err := Open("store", Options{MemtableBudget: 3, NoBackground: true, FS: img})
+			if err != nil {
+				t.Fatalf("cut@%d frac %v: reopen: %v", cut, frac, err)
+			}
+			if !matchesSomePrefix(s2.Live(), allowed) {
+				t.Fatalf("cut@%d frac %v: crash image (%d live) is neither pre- nor post-flush",
+					cut, frac, len(s2.Live()))
+			}
+			if err := s2.Close(); err != nil {
+				t.Fatalf("cut@%d frac %v: close: %v", cut, frac, err)
+			}
+		}
+		if !fs.cutHit() {
+			// The cut index ran past the whole commit: every operation of the
+			// multi-file window has been swept.
+			if cut < 10 {
+				t.Fatalf("flush commit spanned only %d operations", cut)
+			}
+			break
+		}
+	}
+}
+
 // TestStaleWALWindow pins the commit protocol's crash window directly: the
 // manifest renamed, the WAL not yet rewritten. Replay must skip every record
 // the manifest already reflects and lose nothing.

@@ -1,0 +1,132 @@
+package segstore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDegradedENOSPC walks the whole degraded-mode contract on a disk that
+// fills up: the failed commit leaves committed state untouched, mutations
+// return ErrDegraded while reads keep serving, and the store resumes
+// seamlessly once space frees.
+func TestDegradedENOSPC(t *testing.T) {
+	fs := newErrFS()
+	s, err := Create(sweepDir, nil, Options{MemtableBudget: 100, NoBackground: true, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed baseline: two trees flushed into a segment.
+	var ids []int64
+	for i := 0; i < 2; i++ {
+		id := s.NextID()
+		if err := s.Add(id, chainTree(s.Labels(), 3+i)); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// One more tree in the memtable, then the disk fills.
+	id3 := s.NextID()
+	if err := s.Add(id3, chainTree(s.Labels(), 9)); err != nil {
+		t.Fatal(err)
+	}
+	fs.setSticky(true)
+	if err := s.Flush(); err == nil {
+		t.Fatal("flush on a full disk reported success")
+	}
+	st := s.Stats()
+	if !st.Degraded {
+		t.Fatal("failed flush did not degrade the store")
+	}
+	if !strings.Contains(st.DegradedReason, "no space") {
+		t.Fatalf("degraded reason %q does not name the cause", st.DegradedReason)
+	}
+	// Mutations are rejected with ErrDegraded; reads still serve everything
+	// acknowledged, memtable included.
+	if err := s.Add(s.NextID(), chainTree(s.Labels(), 4)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Add while degraded: %v, want ErrDegraded", err)
+	}
+	if err := s.Remove(ids[0]); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Remove while degraded: %v, want ErrDegraded", err)
+	}
+	if live := s.Live(); len(live) != 3 {
+		t.Fatalf("reads while degraded: %d live, want 3", len(live))
+	}
+	// Retrying while the disk is still full stays degraded.
+	if err := s.Flush(); err == nil {
+		t.Fatal("recovery succeeded while the disk is still full")
+	}
+	if st := s.Stats(); st.RecoveryAttempts == 0 {
+		t.Fatal("recovery attempts not counted")
+	}
+	// Space frees: recovery commits, the store resumes, everything survives
+	// a reopen.
+	fs.setSticky(false)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("recovery after space freed: %v", err)
+	}
+	if st := s.Stats(); st.Degraded {
+		t.Fatal("store still degraded after successful recovery")
+	}
+	id4 := s.NextID()
+	if err := s.Add(id4, chainTree(s.Labels(), 5)); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(sweepDir, Options{NoBackground: true, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if live := s2.Live(); len(live) != 4 {
+		t.Fatalf("reopen after recovery: %d live, want 4", len(live))
+	}
+}
+
+// TestDegradedBackgroundRetry exercises the background half: a degraded store
+// with the retry loop enabled recovers on its own once the fault clears, with
+// no explicit Flush from the caller.
+func TestDegradedBackgroundRetry(t *testing.T) {
+	fs := newErrFS()
+	s, err := Create(sweepDir, nil, Options{
+		MemtableBudget: 100, FS: fs,
+		retryBase: time.Millisecond, retryMax: 8 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Add(s.NextID(), chainTree(s.Labels(), 4)); err != nil {
+		t.Fatal(err)
+	}
+	fs.setSticky(true)
+	if err := s.Flush(); err == nil {
+		t.Fatal("flush on a full disk reported success")
+	}
+	if !s.Stats().Degraded {
+		t.Fatal("failed flush did not degrade the store")
+	}
+	// Let a few doomed retries happen, then free space and wait for the
+	// backoff loop to notice.
+	time.Sleep(5 * time.Millisecond)
+	fs.setSticky(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatal("background retry never recovered the store")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.RecoveryAttempts == 0 {
+		t.Fatal("recovery attempts not counted")
+	}
+	if err := s.Add(s.NextID(), chainTree(s.Labels(), 5)); err != nil {
+		t.Fatalf("write after background recovery: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+package segstore
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// FS abstracts every syscall the store performs against its directory, so
+// tests can inject faults (EIO, ENOSPC, short writes, power cuts) at any
+// individual operation and the production path stays a thin veneer over the
+// os package. All paths are as the store builds them (filepath.Join of the
+// store directory and a file name); implementations need no working-directory
+// or symlink semantics beyond what os provides.
+//
+// Durability contract: File.Sync makes a file's written bytes durable;
+// SyncDir makes the directory's name→file mapping (creates, renames,
+// removes) durable. A crash may drop anything not covered by one of the two,
+// including suffixes of individual writes — exactly the model errfs (the
+// test implementation) enforces.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Stat returns the size of path; a missing file reports an error
+	// satisfying errors.Is(err, fs.ErrNotExist).
+	Stat(path string) (int64, error)
+	// Create truncates-or-creates path for writing.
+	Create(path string) (File, error)
+	// OpenAppend opens an existing path for appending.
+	OpenAppend(path string) (File, error)
+	// ReadFile returns the whole contents of path.
+	ReadFile(path string) ([]byte, error)
+	// MapFile returns the file image (zero-copy where the platform allows)
+	// and a release function; the bytes are invalid after release.
+	MapFile(path string) (data []byte, release func(), err error)
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove unlinks path.
+	Remove(path string) error
+	// ReadDir lists the file names in dir.
+	ReadDir(dir string) ([]string, error)
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs dir so renames and creates within it are durable.
+	SyncDir(dir string) error
+}
+
+// File is one open store file handle.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFS is the production FS: the os package plus the platform mmap reader.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Stat(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (osFS) Create(path string) (File, error)     { return os.Create(path) }
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) MapFile(path string) ([]byte, func(), error) { return readFileBytes(path) }
+
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(des))
+	for i, de := range des {
+		names[i] = de.Name()
+	}
+	return names, nil
+}
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir fsyncs the directory. Filesystems that cannot sync directories
+// (EINVAL/ENOTSUP from some network and FUSE mounts) are tolerated — there is
+// nothing stronger the store could do there — but real I/O errors propagate:
+// when sync is enabled, a failed directory fsync is a failed commit.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return nil
+		}
+		return serr
+	}
+	return cerr
+}
+
+// fsOrDefault resolves an Options.FS, nil meaning the real filesystem.
+func fsOrDefault(f FS) FS {
+	if f == nil {
+		return osFS{}
+	}
+	return f
+}
+
+// notExist reports whether err is a missing-file error from any FS.
+func notExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }

@@ -133,7 +133,7 @@ func FuzzWALReplay(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		ops, err := replayWAL(path, tree.NewLabelTable(), true)
+		ops, err := replayWAL(osFS{}, path, tree.NewLabelTable(), true)
 		if err != nil {
 			t.Fatalf("replayWAL must repair, not fail: %v", err)
 		}

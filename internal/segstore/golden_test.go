@@ -133,7 +133,7 @@ func TestSegmentGolden(t *testing.T) {
 func TestManifestGolden(t *testing.T) {
 	_, _, _, _, m := goldenFixture(t)
 	tmp := filepath.Join(t.TempDir(), manifestName)
-	if err := writeManifestTo(tmp, m, true); err != nil {
+	if err := writeManifestTo(osFS{}, tmp, m, true); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(tmp)
@@ -142,7 +142,7 @@ func TestManifestGolden(t *testing.T) {
 	}
 	checkGolden(t, "golden_manifest.tjmf", got)
 
-	m2, err := readManifest(tmp)
+	m2, err := readManifest(osFS{}, tmp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,9 @@
 package segstore
 
 import (
+	"bytes"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"strings"
 
@@ -33,9 +33,10 @@ var manifestMagic = [4]byte{'T', 'J', 'M', 'F'}
 const manifestVersion = 1
 
 const (
-	manifestName = "MANIFEST"
-	walName      = "WAL"
-	segPattern   = "seg-%06d.tjsg"
+	manifestName     = "MANIFEST"
+	walName          = "WAL"
+	segPattern       = "seg-%06d.tjsg"
+	quarantineSuffix = ".quarantine"
 )
 
 // manifest is the decoded commit record.
@@ -51,9 +52,13 @@ type manifestSeg struct {
 	tombs    []int32 // dead entry positions, ascending
 }
 
-func writeManifestTo(path string, m *manifest, noSync bool) error {
+// writeManifestTo commits a manifest: tmp file, fsync, rename, directory
+// fsync. Every step's error propagates — with sync enabled, a failed
+// directory fsync is a failed commit (the rename may not survive a crash),
+// and the caller must treat the previous manifest as still current.
+func writeManifestTo(fsys FS, path string, m *manifest, noSync bool) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -79,43 +84,33 @@ func writeManifestTo(path string, m *manifest, noSync bool) error {
 		}
 	}
 	if err := c.finish(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if !noSync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return err
 	}
 	if !noSync {
-		syncDir(filepath.Dir(path))
+		return fsys.SyncDir(filepath.Dir(path))
 	}
 	return nil
 }
 
-// syncDir fsyncs a directory so a rename within it is durable; best-effort
-// on filesystems that reject directory syncs.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-}
-
-func readManifest(path string) (*manifest, error) {
-	f, err := os.Open(path)
+func readManifest(fsys FS, path string) (*manifest, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return decodeManifest(f)
+	return decodeManifest(bytes.NewReader(data))
 }
 
 func decodeManifest(r io.Reader) (*manifest, error) {
@@ -195,8 +190,9 @@ func segNameSeq(name string) (int, bool) {
 // cleanOrphans deletes segment-shaped files in dir that the manifest does not
 // reference (a crash between segment write and manifest commit leaves them)
 // and stray tmp files, returning the highest sequence number seen anywhere so
-// new segments never reuse a name.
-func cleanOrphans(dir string, m *manifest) (maxSeq int, err error) {
+// new segments never reuse a name. Quarantined files (see Salvage) do not
+// match the segment pattern and are left alone.
+func cleanOrphans(fsys FS, dir string, m *manifest) (maxSeq int, err error) {
 	live := make(map[string]bool, len(m.segs))
 	for _, s := range m.segs {
 		if seq, ok := segNameSeq(s.name); ok && seq > maxSeq {
@@ -204,14 +200,14 @@ func cleanOrphans(dir string, m *manifest) (maxSeq int, err error) {
 		}
 		live[s.name] = true
 	}
-	des, err := os.ReadDir(dir)
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return maxSeq, err
 	}
-	for _, de := range des {
-		name := de.Name()
+	for _, name := range names {
 		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name))
+			// Best-effort: a stray tmp file is inert either way.
+			_ = fsys.Remove(filepath.Join(dir, name))
 			continue
 		}
 		seq, ok := segNameSeq(name)
@@ -222,7 +218,7 @@ func cleanOrphans(dir string, m *manifest) (maxSeq int, err error) {
 			maxSeq = seq
 		}
 		if !live[name] {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
 				return maxSeq, err
 			}
 		}

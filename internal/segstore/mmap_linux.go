@@ -16,7 +16,8 @@ func readFileBytes(path string) ([]byte, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
+	// Read-only fd; the mapping outlives it and a close error is meaningless.
+	defer func() { _ = f.Close() }()
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, nil, err
@@ -25,14 +26,38 @@ func readFileBytes(path string) ([]byte, func(), error) {
 	if size == 0 {
 		return nil, func() {}, nil
 	}
+	return mapValidated(f, path, size)
+}
+
+// mapValidated maps f expecting exactly size bytes. Touching pages of a
+// mapping that extends past the file's real end is a SIGBUS, not an error, so
+// an external truncation racing the open would crash the process mid-decode;
+// re-checking the length against the live fd after the map closes that
+// window — on any mismatch (or a failed re-stat) the mapping is released and
+// the heap-read path takes over, whose short read surfaces as an ordinary
+// CRC/decode error upstream.
+func mapValidated(f *os.File, path string, size int64) ([]byte, func(), error) {
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {
 		// Filesystems without mmap support fall back to a plain read.
-		b, rerr := os.ReadFile(path)
-		if rerr != nil {
-			return nil, nil, rerr
-		}
-		return b, func() {}, nil
+		return heapRead(path)
 	}
-	return data, func() { syscall.Munmap(data) }, nil
+	fi, err := f.Stat()
+	if err != nil || fi.Size() != size {
+		if merr := syscall.Munmap(data); merr != nil {
+			return nil, nil, merr
+		}
+		return heapRead(path)
+	}
+	return data, func() {
+		_ = syscall.Munmap(data)
+	}, nil
+}
+
+func heapRead(path string) ([]byte, func(), error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() {}, nil
 }

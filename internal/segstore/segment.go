@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
-	"os"
 	"sort"
 
 	"treejoin/internal/engine"
@@ -268,22 +267,22 @@ func encodeSegment(w *bytes.Buffer, lt *tree.LabelTable, blocks []*block, entrie
 // writeSegmentFile encodes to path and (unless noSync) fsyncs. The file
 // becomes live only when a manifest referencing it commits; a crash before
 // that leaves an orphan the next open removes.
-func writeSegmentFile(path string, lt *tree.LabelTable, blocks []*block, entries []segEntry, bags map[string][][]engine.BagEntry, noSync bool) error {
+func writeSegmentFile(fsys FS, path string, lt *tree.LabelTable, blocks []*block, entries []segEntry, bags map[string][][]engine.BagEntry, noSync bool) error {
 	var buf bytes.Buffer
 	if err := encodeSegment(&buf, lt, blocks, entries, bags); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf.Bytes()); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if !noSync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 	}
@@ -291,9 +290,11 @@ func writeSegmentFile(path string, lt *tree.LabelTable, blocks []*block, entries
 }
 
 // decodeSegment parses a segment from data. Labels must already be interned
-// in lt (the manifest's table is decoded first); every block is re-hashed
-// against its stored address and its cells pass structural validation, so a
-// returned block is safe for the verification kernel and sound for dedup.
+// in lt (the manifest's table is decoded first); the bulk CRC is verified
+// before parsing and every block's cells pass structural validation, so a
+// returned block is safe for the verification kernel. Stored content
+// addresses are trusted under the CRC (see the format comment); Scrub is the
+// path that re-derives them.
 func decodeSegment(data []byte, lt *tree.LabelTable) (blocks []*block, entries []segEntry, err error) {
 	d := newSD(data, segMagic, segVersion, "segment")
 	labelLimit := d.u(maxLabels, "label limit")
@@ -435,8 +436,8 @@ func decodeSegment(data []byte, lt *tree.LabelTable) (blocks []*block, entries [
 }
 
 // readSegmentFile maps path (mmap on linux) and decodes it.
-func readSegmentFile(path string, lt *tree.LabelTable) ([]*block, []segEntry, error) {
-	data, done, err := readFileBytes(path)
+func readSegmentFile(fsys FS, path string, lt *tree.LabelTable) ([]*block, []segEntry, error) {
+	data, done, err := fsys.MapFile(path)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,9 +2,9 @@ package segstore
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"treejoin/internal/engine"
 	"treejoin/internal/ted"
@@ -22,11 +22,28 @@ type Options struct {
 	// rule lifted to segments.
 	CompactMinDead int
 	// NoBackground runs every triggered compaction synchronously inside the
-	// mutating call instead of on the compactor goroutine (tests).
+	// mutating call instead of on the compactor goroutine, and disables the
+	// degraded-mode retry goroutine — Flush and Compact then double as the
+	// synchronous recovery hooks (tests).
 	NoBackground bool
 	// NoSync skips fsyncs. Throughput for tests that never crash; never set
 	// it when durability matters.
 	NoSync bool
+	// FS overrides the filesystem the store talks to; nil means the real
+	// one. Tests inject fault-raising filesystems here.
+	FS FS
+	// Salvage makes Open quarantine segment files that fail their integrity
+	// checks (renamed to *.quarantine, dropped from the manifest) and open
+	// the surviving corpus instead of refusing entirely. The quarantined
+	// set is reported by SalvageReport. Only whole corrupt segments are set
+	// aside; every readable live tree is kept.
+	Salvage bool
+
+	// retryBase/retryMax bound the degraded-mode retry backoff (exponential
+	// with jitter); zero means the defaults (50ms / 5s). In-package tests
+	// shrink them.
+	retryBase time.Duration
+	retryMax  time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -35,6 +52,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactMinDead <= 0 {
 		o.CompactMinDead = 64
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
+	}
+	if o.retryBase <= 0 {
+		o.retryBase = 50 * time.Millisecond
+	}
+	if o.retryMax <= 0 {
+		o.retryMax = 5 * time.Second
 	}
 	return o
 }
@@ -50,6 +76,11 @@ type Stats struct {
 	LiveTrees       int   // live entries (segments + memtable)
 	Blocks          int   // distinct tree contents across live segments
 	Entries         int   // total segment entries, dead included
+
+	Degraded            bool   // store is read-only pending recovery
+	DegradedReason      string // the I/O failure that degraded it ("" when healthy)
+	RecoveryAttempts    int64  // degraded-mode recovery attempts (successful or not)
+	QuarantinedSegments int    // segments Open(Salvage) set aside
 }
 
 // Artifacts supplies per-tree artifacts from the owning corpus's cache, so
@@ -101,6 +132,7 @@ type loc struct {
 type Store struct {
 	dir string
 	opt Options
+	fs  FS
 
 	mu        sync.Mutex
 	lt        *tree.LabelTable
@@ -117,11 +149,21 @@ type Store struct {
 	closed    bool
 	dirty     bool // manifest on disk lags in-memory tombstones
 
+	// Degraded mode: a failed flush, commit, or compaction leaves the
+	// committed on-disk state untouched and flips the store read-only until
+	// a recovery commit succeeds (see degraded.go).
+	degraded    bool
+	degradedErr error
+	recoveries  int64
+	quarantined []QuarantinedSegment
+
 	segsOpened int64
 	compacts   int64
 	flushes    int64
 
 	compactCh chan struct{}
+	recoverCh chan struct{}
+	stopCh    chan struct{}
 	wg        sync.WaitGroup
 }
 
@@ -129,10 +171,12 @@ type Store struct {
 // already hold a store). lt becomes the store's label table — the corpus
 // and the store share it; nil starts an empty one.
 func Create(dir string, lt *tree.LabelTable, opt Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opt = opt.withDefaults()
+	fsys := opt.FS
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, err
 	}
-	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+	if _, err := fsys.Stat(filepath.Join(dir, manifestName)); err == nil {
 		return nil, fmt.Errorf("segstore: %s already holds a store", dir)
 	}
 	if lt == nil {
@@ -140,7 +184,8 @@ func Create(dir string, lt *tree.LabelTable, opt Options) (*Store, error) {
 	}
 	s := &Store{
 		dir:    dir,
-		opt:    opt.withDefaults(),
+		opt:    opt,
+		fs:     fsys,
 		lt:     lt,
 		byID:   make(map[int64]loc),
 		segIDs: make(map[int64]bool),
@@ -149,51 +194,58 @@ func Create(dir string, lt *tree.LabelTable, opt Options) (*Store, error) {
 	if err := s.writeManifestLocked(); err != nil {
 		return nil, err
 	}
-	wal, err := createWAL(filepath.Join(dir, walName), s.opt.NoSync)
+	wal, err := createWAL(fsys, filepath.Join(dir, walName), s.opt.NoSync)
 	if err != nil {
 		return nil, err
 	}
 	s.wal = wal
 	s.walLabels = lt.Len()
-	s.startCompactor()
+	s.startBackground()
 	return s, nil
 }
 
 // Open loads the store in dir: manifest, segments (mmap-decoded, content
-// addresses verified), WAL replay, orphan cleanup.
+// addresses verified), WAL replay, orphan cleanup. With Options.Salvage,
+// segments that fail integrity checks are quarantined instead of failing the
+// open (see Options.Salvage and SalvageReport).
 func Open(dir string, opt Options) (*Store, error) {
-	m, err := readManifest(filepath.Join(dir, manifestName))
+	opt = opt.withDefaults()
+	fsys := opt.FS
+	m, err := readManifest(fsys, filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
 		dir:    dir,
-		opt:    opt.withDefaults(),
+		opt:    opt,
+		fs:     fsys,
 		lt:     m.lt,
 		byID:   make(map[int64]loc),
 		segIDs: make(map[int64]bool),
 		byHash: make(map[[32]byte]*block),
 		nextID: m.nextID,
 	}
-	maxSeq, err := cleanOrphans(dir, m)
+	maxSeq, err := cleanOrphans(fsys, dir, m)
 	if err != nil {
 		return nil, err
 	}
 	s.segSeq = maxSeq + 1
 	prevID := int64(-1)
+	var pending []*QuarantinedSegment // quarantined, awaiting an id upper bound
 	for _, ms := range m.segs {
-		blocks, entries, err := readSegmentFile(filepath.Join(dir, ms.name), s.lt)
+		seg, err := s.loadSegment(ms, prevID)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", ms.name, err)
-		}
-		s.segsOpened++
-		if len(entries) != ms.nEntries {
-			return nil, corruptf("%s: %d entries, manifest says %d", ms.name, len(entries), ms.nEntries)
+			if !opt.Salvage {
+				return nil, fmt.Errorf("%s: %w", ms.name, err)
+			}
+			q := s.quarantineSegment(ms, prevID, err)
+			pending = append(pending, q)
+			continue
 		}
 		// Canonicalise blocks against the cross-segment dedup map: equal
 		// content addresses collapse to one in-memory block, merging any
 		// bag kinds the duplicates carry.
-		for i, b := range blocks {
+		for i, b := range seg.blocks {
 			if canon, ok := s.byHash[b.hash]; ok {
 				for kind, bag := range b.bags {
 					if _, have := canon.bags[kind]; !have {
@@ -203,20 +255,18 @@ func Open(dir string, opt Options) (*Store, error) {
 						canon.bags[kind] = bag
 					}
 				}
-				blocks[i] = canon
+				seg.blocks[i] = canon
 			} else {
 				s.byHash[b.hash] = b
 			}
 		}
-		seg := &liveSeg{name: ms.name, blocks: blocks, entries: entries, dead: make([]bool, len(entries))}
-		for _, p := range ms.tombs {
-			seg.dead[p] = true
-			seg.nDead++
-		}
-		for pos, e := range entries {
-			if e.id <= prevID {
-				return nil, corruptf("%s: entry id %d not ascending across segments", ms.name, e.id)
+		if len(seg.entries) > 0 {
+			for _, q := range pending {
+				q.IDBefore = seg.entries[0].id
 			}
+			pending = nil
+		}
+		for pos, e := range seg.entries {
 			prevID = e.id
 			s.segIDs[e.id] = true
 			if !seg.dead[pos] {
@@ -227,18 +277,52 @@ func Open(dir string, opt Options) (*Store, error) {
 			}
 		}
 		s.segs = append(s.segs, seg)
+		s.segsOpened++
 	}
 	if err := s.replayLocked(); err != nil {
 		return nil, err
 	}
+	if len(s.quarantined) > 0 {
+		// Commit the salvage: a manifest without the quarantined segments,
+		// so the next open does not trip over them again.
+		if err := s.writeManifestLocked(); err != nil {
+			return nil, fmt.Errorf("segstore: committing salvage: %w", err)
+		}
+	}
 	s.walLabels = s.lt.Len()
-	wal, err := openWALForAppend(filepath.Join(dir, walName), s.opt.NoSync)
+	wal, err := openWALForAppend(fsys, filepath.Join(dir, walName), s.opt.NoSync)
 	if err != nil {
 		return nil, err
 	}
 	s.wal = wal
-	s.startCompactor()
+	s.startBackground()
 	return s, nil
+}
+
+// loadSegment reads and validates one manifest-listed segment without
+// touching store state: the decode (bulk CRC, structural checks, arena-view
+// validation), the manifest's entry count, and id ascension past prevID.
+func (s *Store) loadSegment(ms manifestSeg, prevID int64) (*liveSeg, error) {
+	blocks, entries, err := readSegmentFile(s.fs, filepath.Join(s.dir, ms.name), s.lt)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) != ms.nEntries {
+		return nil, corruptf("%d entries, manifest says %d", len(entries), ms.nEntries)
+	}
+	p := prevID
+	for _, e := range entries {
+		if e.id <= p {
+			return nil, corruptf("entry id %d not ascending across segments", e.id)
+		}
+		p = e.id
+	}
+	seg := &liveSeg{name: ms.name, blocks: blocks, entries: entries, dead: make([]bool, len(entries))}
+	for _, tp := range ms.tombs {
+		seg.dead[tp] = true
+		seg.nDead++
+	}
+	return seg, nil
 }
 
 // replayLocked applies the WAL onto the manifest state. Rules, each keyed to
@@ -259,10 +343,10 @@ func Open(dir string, opt Options) (*Store, error) {
 // truncates the WAL from that point, like a torn tail.
 func (s *Store) replayLocked() error {
 	path := filepath.Join(s.dir, walName)
-	if _, err := os.Stat(path); os.IsNotExist(err) {
-		return rewriteWALFile(path, nil, nil, s.lt.Len(), s.opt.NoSync)
+	if _, err := s.fs.Stat(path); notExist(err) {
+		return rewriteWALFile(s.fs, path, nil, nil, s.lt.Len(), s.opt.NoSync)
 	}
-	ops, err := replayWAL(path, s.lt, s.opt.NoSync)
+	ops, err := replayWAL(s.fs, path, s.lt, s.opt.NoSync)
 	if err != nil {
 		return err
 	}
@@ -381,12 +465,18 @@ func (s *Store) Live() []LiveTree {
 
 // Add appends (id, t) through the WAL into the memtable, flushing into a new
 // segment when the budget fills. id must be at least NextID() and t must use
-// the store's label table.
+// the store's label table. An error means the add did not happen (and will
+// not resurface after a reopen); a nil return means it is durable — if the
+// flush it triggered then fails, the store degrades (see ErrDegraded) but
+// the add itself is already safe in the WAL.
 func (s *Store) Add(id int64, t *tree.Tree) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("segstore: store is closed")
+	}
+	if s.degraded {
+		return s.degradedErrLocked()
 	}
 	if t.Labels != s.lt {
 		return fmt.Errorf("segstore: tree does not use the store's label table")
@@ -395,29 +485,42 @@ func (s *Store) Add(id int64, t *tree.Tree) error {
 		return fmt.Errorf("segstore: id %d below next id %d", id, s.nextID)
 	}
 	if err := s.wal.append(encodeAdd(id, s.lt, s.walLabels, t)); err != nil {
+		if s.wal.failed() {
+			s.enterDegradedLocked(err)
+		}
 		return err
 	}
 	s.walLabels = s.lt.Len()
 	s.addMemLocked(id, t)
 	if len(s.mem) >= s.opt.MemtableBudget {
-		return s.flushLocked()
+		if err := s.flushLocked(); err != nil {
+			s.enterDegradedLocked(err)
+		}
 	}
 	return nil
 }
 
 // Remove tombstones id: WAL record first, then a memtable drop or a segment
-// tombstone; enough tombstones trigger compaction.
+// tombstone; enough tombstones trigger compaction. The same error contract
+// as Add: an error means the remove did not happen; a failed compaction
+// behind a successful remove degrades the store instead of failing the call.
 func (s *Store) Remove(id int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("segstore: store is closed")
 	}
+	if s.degraded {
+		return s.degradedErrLocked()
+	}
 	l, ok := s.byID[id]
 	if !ok {
 		return fmt.Errorf("segstore: id %d is not live", id)
 	}
 	if err := s.wal.append(encodeRemove(id)); err != nil {
+		if s.wal.failed() {
+			s.enterDegradedLocked(err)
+		}
 		return err
 	}
 	s.removeLocLocked(id, l)
@@ -432,6 +535,9 @@ func (s *Store) Bulk(ids []int64, ts []*tree.Tree, nextID int64) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("segstore: store is closed")
+	}
+	if s.degraded {
+		return s.degradedErrLocked()
 	}
 	if len(s.segs) != 0 || len(s.mem) != 0 {
 		return fmt.Errorf("segstore: Bulk needs an empty store")
@@ -452,36 +558,60 @@ func (s *Store) Bulk(ids []int64, ts []*tree.Tree, nextID int64) error {
 	if nextID > s.nextID {
 		s.nextID = nextID
 	}
+	var err error
 	if len(s.mem) == 0 {
-		return s.writeManifestLocked()
+		err = s.writeManifestLocked()
+	} else {
+		err = s.flushLocked()
 	}
-	return s.flushLocked()
+	if err != nil {
+		// Bulk bypasses the WAL (durability is the flush itself), so unlike
+		// Add the failure surfaces to the caller — and the store degrades,
+		// since the in-memory state now leads the committed one.
+		s.enterDegradedLocked(err)
+		return err
+	}
+	return nil
 }
 
 // Flush forces the memtable into a segment (no-op when empty, beyond
-// persisting pending tombstones).
+// persisting pending tombstones). On a degraded store, Flush is the
+// synchronous recovery hook: it retries the failed commit and clears
+// degraded mode on success.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("segstore: store is closed")
 	}
-	if len(s.mem) == 0 {
-		if s.dirty {
-			return s.commitLocked()
-		}
+	if s.degraded {
+		return s.recoverLocked()
+	}
+	var err error
+	switch {
+	case len(s.mem) > 0:
+		err = s.flushLocked()
+	case s.dirty:
+		err = s.commitLocked()
+	default:
 		return nil
 	}
-	return s.flushLocked()
+	if err != nil {
+		s.enterDegradedLocked(err)
+	}
+	return err
 }
 
 // flushLocked writes the memtable as a new segment, then commits: manifest
-// rename first (the commit point), WAL rewrite second.
+// rename first (the commit point), WAL rewrite second. The segment file is
+// fully written before any in-memory state changes, so a failure before the
+// commit leaves the store exactly as it was (minus an orphan file the next
+// open removes).
 func (s *Store) flushLocked() error {
 	blocks, entries := s.collectMem()
 	bags := s.collectBags(blocks)
 	name := fmt.Sprintf(segPattern, s.segSeq)
-	if err := writeSegmentFile(filepath.Join(s.dir, name), s.lt, blocks, entries, bags, s.opt.NoSync); err != nil {
+	if err := writeSegmentFile(s.fs, filepath.Join(s.dir, name), s.lt, blocks, entries, bags, s.opt.NoSync); err != nil {
 		return err
 	}
 	s.segSeq++
@@ -594,7 +724,7 @@ func (s *Store) writeManifestLocked() error {
 	for _, seg := range s.segs {
 		m.segs = append(m.segs, manifestSeg{name: seg.name, nEntries: len(seg.entries), tombs: sortedTombs(seg.dead)})
 	}
-	if err := writeManifestTo(filepath.Join(s.dir, manifestName), m, s.opt.NoSync); err != nil {
+	if err := writeManifestTo(s.fs, filepath.Join(s.dir, manifestName), m, s.opt.NoSync); err != nil {
 		return err
 	}
 	s.dirty = false
@@ -608,11 +738,14 @@ func (s *Store) rewriteWALLocked() error {
 		ids[i] = me.id
 		ts[i] = me.blk.t
 	}
-	s.wal.close()
-	if err := rewriteWALFile(filepath.Join(s.dir, walName), ids, ts, s.lt.Len(), s.opt.NoSync); err != nil {
+	// The old writer is done either way; a close error does not matter (the
+	// rewrite below replaces the file wholesale) and a failed rewrite leaves
+	// s.wal closed, which append reports as errWALClosed until recovery.
+	_ = s.wal.close()
+	if err := rewriteWALFile(s.fs, filepath.Join(s.dir, walName), ids, ts, s.lt.Len(), s.opt.NoSync); err != nil {
 		return err
 	}
-	wal, err := openWALForAppend(filepath.Join(s.dir, walName), s.opt.NoSync)
+	wal, err := openWALForAppend(s.fs, filepath.Join(s.dir, walName), s.opt.NoSync)
 	if err != nil {
 		return err
 	}
@@ -623,7 +756,8 @@ func (s *Store) rewriteWALLocked() error {
 
 // maybeCompactLocked applies the compaction trigger — at least CompactMinDead
 // tombstones and more dead than live — synchronously under NoBackground,
-// otherwise by waking the compactor.
+// otherwise by waking the compactor. A synchronous compaction failure
+// degrades the store (the mutation that triggered it has already committed).
 func (s *Store) maybeCompactLocked() {
 	dead, live := 0, 0
 	for _, seg := range s.segs {
@@ -634,7 +768,9 @@ func (s *Store) maybeCompactLocked() {
 		return
 	}
 	if s.opt.NoBackground {
-		s.compactLocked()
+		if err := s.compactLocked(); err != nil {
+			s.enterDegradedLocked(err)
+		}
 		return
 	}
 	select {
@@ -644,14 +780,24 @@ func (s *Store) maybeCompactLocked() {
 }
 
 // Compact forces a full merge of all segments into one, dropping every
-// tombstoned entry and deduplicating blocks across segments on disk.
+// tombstoned entry and deduplicating blocks across segments on disk. On a
+// degraded store it first retries recovery, then compacts.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("segstore: store is closed")
 	}
-	return s.compactLocked()
+	if s.degraded {
+		if err := s.recoverLocked(); err != nil {
+			return err
+		}
+	}
+	if err := s.compactLocked(); err != nil {
+		s.enterDegradedLocked(err)
+		return err
+	}
+	return nil
 }
 
 // compactLocked merges every segment into one. Soundness mirrors the token
@@ -693,7 +839,7 @@ func (s *Store) compactLocked() error {
 	}
 	bags := s.collectBags(blocks)
 	name := fmt.Sprintf(segPattern, s.segSeq)
-	if err := writeSegmentFile(filepath.Join(s.dir, name), s.lt, blocks, entries, bags, s.opt.NoSync); err != nil {
+	if err := writeSegmentFile(s.fs, filepath.Join(s.dir, name), s.lt, blocks, entries, bags, s.opt.NoSync); err != nil {
 		return err
 	}
 	s.segSeq++
@@ -719,32 +865,44 @@ func (s *Store) compactLocked() error {
 		return err
 	}
 	for _, o := range old {
-		os.Remove(filepath.Join(s.dir, o.name))
+		// Best-effort: a file that cannot be unlinked is an orphan the next
+		// open removes (the committed manifest no longer references it).
+		_ = s.fs.Remove(filepath.Join(s.dir, o.name))
 	}
 	return nil
 }
 
-func (s *Store) startCompactor() {
+// startBackground launches the compactor and the degraded-mode recovery
+// loop. Under NoBackground neither runs: compaction happens inline and
+// Flush/Compact double as the recovery hooks.
+func (s *Store) startBackground() {
 	s.compactCh = make(chan struct{}, 1)
+	s.recoverCh = make(chan struct{}, 1)
+	s.stopCh = make(chan struct{})
 	if s.opt.NoBackground {
 		return
 	}
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go func() {
 		defer s.wg.Done()
 		for range s.compactCh {
 			s.mu.Lock()
-			if !s.closed {
-				s.compactLocked()
+			if !s.closed && !s.degraded {
+				if err := s.compactLocked(); err != nil {
+					s.enterDegradedLocked(err)
+				}
 			}
 			s.mu.Unlock()
 		}
 	}()
+	go s.recoveryLoop()
 }
 
 // Close flushes the memtable into a segment, persists pending tombstones,
-// stops the compactor, and releases the WAL. The directory then reopens
-// purely from segments.
+// stops the background goroutines, and releases the WAL. The directory then
+// reopens purely from segments. Closing a degraded store attempts one final
+// recovery and reports its error; the on-disk state stays consistent either
+// way (that is the degraded-mode invariant).
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -752,14 +910,21 @@ func (s *Store) Close() error {
 		return nil
 	}
 	var err error
-	if len(s.mem) > 0 {
+	switch {
+	case s.degraded:
+		err = s.recoverLocked()
+		if err == nil && len(s.mem) > 0 {
+			err = s.flushLocked()
+		}
+	case len(s.mem) > 0:
 		err = s.flushLocked()
-	} else if s.dirty {
+	case s.dirty:
 		err = s.commitLocked()
 	}
 	s.closed = true
 	s.mu.Unlock()
 	close(s.compactCh)
+	close(s.stopCh)
 	s.wg.Wait()
 	if cerr := s.wal.close(); err == nil {
 		err = cerr
@@ -772,12 +937,18 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Segments:       len(s.segs),
-		SegmentsOpened: s.segsOpened,
-		MemtableTrees:  len(s.mem),
-		CompactionRuns: s.compacts,
-		FlushRuns:      s.flushes,
-		LiveTrees:      len(s.byID),
+		Segments:            len(s.segs),
+		SegmentsOpened:      s.segsOpened,
+		MemtableTrees:       len(s.mem),
+		CompactionRuns:      s.compacts,
+		FlushRuns:           s.flushes,
+		LiveTrees:           len(s.byID),
+		Degraded:            s.degraded,
+		RecoveryAttempts:    s.recoveries,
+		QuarantinedSegments: len(s.quarantined),
+	}
+	if s.degradedErr != nil {
+		st.DegradedReason = s.degradedErr.Error()
 	}
 	seen := make(map[*block]bool)
 	for _, seg := range s.segs {

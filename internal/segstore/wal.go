@@ -3,8 +3,9 @@ package segstore
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 
 	"treejoin/internal/tree"
@@ -37,49 +38,98 @@ var walMagic = [4]byte{'T', 'J', 'W', 'L'}
 
 const walVersion = 1
 
-// walWriter appends records to the open WAL file.
+// errWALClosed reports an append on a writer that failed closed (a partial
+// append it could not claw back) or was released; the store surfaces it as
+// degraded mode.
+var errWALClosed = errors.New("segstore: WAL writer is closed")
+
+// walWriter appends records to the open WAL file. It tracks the last good
+// record boundary: a partial append (short write, or a write or sync error
+// after bytes may have landed) truncates the file back to that boundary so a
+// later append can never splice garbage after a torn record. If the
+// truncate itself fails, the writer fails closed.
 type walWriter struct {
-	f      *os.File
+	fs     FS
+	path   string
+	f      File
+	off    int64 // offset just past the last fully appended+synced record
 	noSync bool
 }
 
-func createWAL(path string, noSync bool) (*walWriter, error) {
-	f, err := os.Create(path)
+func createWAL(fsys FS, path string, noSync bool) (*walWriter, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := f.Write(append(walMagic[:], walVersion)); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if !noSync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
+			return nil, err
+		}
+		// The header is durable only once the file's directory entry is; a
+		// WAL that vanishes with a crash would silently drop every record
+		// appended to it.
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			_ = f.Close()
 			return nil, err
 		}
 	}
-	return &walWriter{f: f, noSync: noSync}, nil
+	return &walWriter{fs: fsys, path: path, f: f, off: 5, noSync: noSync}, nil
 }
 
-func openWALForAppend(path string, noSync bool) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+func openWALForAppend(fsys FS, path string, noSync bool) (*walWriter, error) {
+	size, err := fsys.Stat(path)
 	if err != nil {
 		return nil, err
 	}
-	return &walWriter{f: f, noSync: noSync}, nil
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{fs: fsys, path: path, f: f, off: size, noSync: noSync}, nil
 }
 
+// append writes one record (payload + CRC) and syncs it. On any failure the
+// file is truncated back to the previous record boundary before returning,
+// so an error here means the record is not (and will never be) in the log;
+// if even that claw-back fails, the writer fails closed and every later
+// append returns errWALClosed.
 func (w *walWriter) append(rec []byte) error {
+	if w.f == nil {
+		return errWALClosed
+	}
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(rec))
-	if _, err := w.f.Write(append(rec, sum[:]...)); err != nil {
+	buf := append(rec, sum[:]...)
+	n, err := w.f.Write(buf)
+	if err == nil && n < len(buf) {
+		err = fmt.Errorf("segstore: WAL short write (%d of %d bytes)", n, len(buf))
+	}
+	if err == nil && !w.noSync {
+		// A failed sync also claws back: the bytes are in the file but not
+		// durable, and an unacknowledged mutation must not resurface on the
+		// next replay.
+		err = w.f.Sync()
+	}
+	if err != nil {
+		if terr := w.fs.Truncate(w.path, w.off); terr != nil {
+			_ = w.f.Close()
+			w.f = nil
+			return fmt.Errorf("%w (and truncating back failed: %v)", err, terr)
+		}
 		return err
 	}
-	if w.noSync {
-		return nil
-	}
-	return w.f.Sync()
+	w.off += int64(len(buf))
+	return nil
 }
+
+// failed reports whether the writer failed closed (append can never succeed
+// again until the WAL is rewritten).
+func (w *walWriter) failed() bool { return w == nil || w.f == nil }
 
 func (w *walWriter) close() error {
 	if w == nil || w.f == nil {
@@ -129,15 +179,15 @@ type walOp struct {
 // everything before it was synced and applies, everything after never fully
 // committed. The caller applies the ops idempotently against the manifest
 // state (see Store replay rules).
-func replayWAL(path string, lt *tree.LabelTable, noSync bool) ([]walOp, error) {
-	data, err := os.ReadFile(path)
+func replayWAL(fsys FS, path string, lt *tree.LabelTable, noSync bool) ([]walOp, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	if len(data) < 5 || !bytes.Equal(data[:4], walMagic[:]) || data[4] != walVersion {
 		// An unrecognisable WAL is rebuilt empty: nothing can be recovered
 		// from it, and the manifest alone is a consistent (if older) state.
-		return nil, rewriteWALFile(path, nil, nil, 0, noSync)
+		return nil, rewriteWALFile(fsys, path, nil, nil, 0, noSync)
 	}
 	var ops []walOp
 	pos := 5
@@ -152,7 +202,7 @@ func replayWAL(path string, lt *tree.LabelTable, noSync bool) ([]walOp, error) {
 		good = next
 	}
 	if good < len(data) {
-		if err := os.Truncate(path, int64(good)); err != nil {
+		if err := fsys.Truncate(path, int64(good)); err != nil {
 			return nil, err
 		}
 	}
@@ -240,9 +290,9 @@ func recordEnd(data []byte, pos int) (int, bool) {
 // given memtable as 'A' records (ids[i] ↔ ts[i]); labelsLen stamps every
 // record's prevLabels (their labels are already in the manifest's table, so
 // the splice is empty). Called after a manifest commit — never before.
-func rewriteWALFile(path string, ids []int64, ts []*tree.Tree, labelsLen int, noSync bool) error {
+func rewriteWALFile(fsys FS, path string, ids []int64, ts []*tree.Tree, labelsLen int, noSync bool) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -257,23 +307,23 @@ func rewriteWALFile(path string, ids []int64, ts []*tree.Tree, labelsLen int, no
 		buf.Write(sum[:])
 	}
 	if _, err := f.Write(buf.Bytes()); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if !noSync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return err
 	}
 	if !noSync {
-		syncDir(filepath.Dir(path))
+		return fsys.SyncDir(filepath.Dir(path))
 	}
 	return nil
 }

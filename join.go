@@ -135,9 +135,11 @@ type config struct {
 	statsDst   *Stats
 	indexCap   int
 
-	// Persistent-store knobs (see Open, WithMemtableBudget, WithStoreNoSync).
+	// Persistent-store knobs (see Open, WithMemtableBudget, WithStoreNoSync,
+	// WithSalvage).
 	memBudget   int
 	storeNoSync bool
+	salvage     bool
 }
 
 // Option customises a join call.

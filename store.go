@@ -21,6 +21,23 @@ import (
 // strict semantics) on a purely in-memory corpus.
 var ErrNotPersistent = errors.New("treejoin: corpus has no backing store")
 
+// ErrDegraded is wrapped by Add and Remove on a persistent corpus whose
+// backing store hit an I/O failure (a full or faulty disk) it could not
+// commit through. The corpus stays fully readable — queries, joins, and
+// already-acknowledged trees are unaffected — and the store keeps retrying
+// the failed commit in the background with capped exponential backoff;
+// mutations succeed again once a retry lands (e.g. after space frees).
+// Detect it with errors.Is(err, ErrDegraded); inspect StoreStats().Degraded
+// and DegradedReason for the cause.
+var ErrDegraded = segstore.ErrDegraded
+
+// ScrubReport summarises a Corpus.Scrub pass over the backing store.
+type ScrubReport = segstore.ScrubReport
+
+// QuarantinedSegment describes one corrupt segment file that opening with
+// WithSalvage set aside, including bounds on the tree ids it held.
+type QuarantinedSegment = segstore.QuarantinedSegment
+
 // StoreStats reports the state of a persistent corpus's backing segment
 // store: live membership, segment and memtable occupancy, tombstones awaiting
 // compaction, and lifecycle counters.
@@ -185,6 +202,40 @@ func (cp *Corpus) StoreStats() (stats StoreStats, ok bool) {
 // on queries or on in-memory corpora.
 func WithMemtableBudget(n int) Option { return func(c *config) { c.memBudget = n } }
 
+// Scrub re-reads and re-verifies every committed file of the backing store:
+// the manifest decodes, each segment passes its bulk CRC and structural
+// checks, every block re-hashes to its stored content address, and entry
+// counts match the manifest. It is the deep check for corruption that crept
+// in after the open (bit rot, external truncation, a misbehaving disk) —
+// the open path alone would only notice on the next restart. Mutations block
+// for the duration; queries over the in-memory state do not. The error is
+// non-nil iff any fault was found; the report carries the detail either way.
+// Returns ErrNotPersistent for an in-memory corpus.
+func (cp *Corpus) Scrub() (ScrubReport, error) {
+	if cp.store == nil || cp.frozen {
+		return ScrubReport{}, ErrNotPersistent
+	}
+	return cp.store.Scrub()
+}
+
+// SalvageReport returns what an Open with WithSalvage quarantined, empty for
+// a clean open, a store opened without WithSalvage, or an in-memory corpus.
+func (cp *Corpus) SalvageReport() []QuarantinedSegment {
+	if cp.store == nil {
+		return nil
+	}
+	return cp.store.SalvageReport()
+}
+
+// WithSalvage makes Open quarantine segment files that fail their integrity
+// checks — renamed to *.quarantine and dropped from the manifest — and open
+// the surviving corpus instead of refusing entirely. Quarantine never drops
+// a readable live tree: only whole segments that failed verification are set
+// aside, their bytes preserved under the new name for offline forensics.
+// Inspect the loss with SalvageReport. Open-time option; without it a
+// corrupt segment fails Open with the detailed decode error.
+func WithSalvage() Option { return func(c *config) { c.salvage = true } }
+
 // WithStoreNoSync disables per-operation fsync on the backing store's WAL and
 // per-commit fsync on its manifests and segments. Throughput for bulk loads
 // improves dramatically; the crash guarantee weakens from "every acknowledged
@@ -197,6 +248,7 @@ func (c config) storeOptions() segstore.Options {
 	return segstore.Options{
 		MemtableBudget: c.memBudget,
 		NoSync:         c.storeNoSync,
+		Salvage:        c.salvage,
 	}
 }
 
