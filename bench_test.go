@@ -169,7 +169,9 @@ func BenchmarkShardedJoin(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.ShardedSelfJoin(ts, shards, core.Options{Tau: 3, Workers: shards})
+				if _, _, err := core.ShardedSelfJoin(ts, shards, core.Options{Tau: 3, Workers: shards}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -476,7 +476,14 @@ func runWatch(input, format, store string, tau, topk int, other, method, prefilt
 
 	inc := treejoin.NewIncremental(tau, treejoin.WithWorkers(workers))
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
+	// Every flush is checked: a full disk or a closed pipe must surface as a
+	// non-zero exit, not an exit 0 with silently truncated deltas.
+	flushOut := func() {
+		if err := out.Flush(); err != nil {
+			fail("watch: writing output: %v", err)
+		}
+	}
+	defer flushOut()
 
 	// With -store, every mutation journals through the store's write-ahead
 	// log before its delta is emitted, and the ids in deltas and removal
@@ -530,7 +537,7 @@ func runWatch(input, format, store string, tau, topk int, other, method, prefilt
 			incToStore = append(incToStore, cp.ID(i))
 			emit('+', inc.Add(cp.Tree(i)))
 		}
-		out.Flush()
+		flushOut()
 	}
 	if input != "" {
 		if cp != nil {
@@ -548,7 +555,7 @@ func runWatch(input, format, store string, tau, topk int, other, method, prefilt
 				fail("%v", err)
 			}
 		}
-		out.Flush()
+		flushOut()
 	}
 
 	// Stdin is scanned on its own goroutine so the mutation loop can honor
@@ -632,7 +639,7 @@ loop:
 				continue
 			}
 		}
-		out.Flush()
+		flushOut()
 	}
 	// Cancellation may surface as the closed lines channel rather than the
 	// ctx case (the select picks arbitrarily when both are ready), so the
@@ -667,7 +674,7 @@ loop:
 		}
 	}
 	if interrupted {
-		out.Flush()
+		flushOut()
 		stopProfiles()
 		os.Exit(1)
 	}

@@ -1,0 +1,233 @@
+// Handler tests for treejoind: correct results over HTTP, malformed
+// requests answered with 4xx (never a panic or a 5xx), deadline and
+// admission behaviour, and id-stable responses across mutations.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"treejoin"
+	"treejoin/internal/synth"
+)
+
+func testServer(t *testing.T, n int, inflight int, deadline time.Duration) (*server, *httptest.Server) {
+	t.Helper()
+	ts := synth.Synthetic(30, 17)
+	sc, err := treejoin.NewSharded(n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sc, sc.Labels(), 0, inflight, deadline)
+	hs := httptest.NewServer(srv.routes())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func post(t *testing.T, hs *httptest.Server, path, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(hs.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp, sb.String()
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestServeEndpoints(t *testing.T) {
+	_, hs := testServer(t, 3, 8, 5*time.Second)
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	// Self join streams NDJSON ending in a summary whose count matches the
+	// pair lines.
+	resp, err = http.Get(hs.URL + "/selfjoin?tau=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("selfjoin: status %d", resp.StatusCode)
+	}
+	body := readAll(t, resp)
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	last := lines[len(lines)-1]
+	var summary struct {
+		Summary struct {
+			Results int64 `json:"results"`
+			Trees   int   `json:"trees"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(last), &summary); err != nil {
+		t.Fatalf("summary line %q: %v", last, err)
+	}
+	if summary.Summary.Trees != 30 {
+		t.Fatalf("summary trees = %d, want 30", summary.Summary.Trees)
+	}
+	if got := int64(len(lines) - 1); got != summary.Summary.Results {
+		t.Fatalf("streamed %d pairs, summary says %d", got, summary.Summary.Results)
+	}
+
+	// Search for an existing corpus tree at tau=0 finds at least itself.
+	resp2, body2 := post(t, hs, "/search", `{"query":"{0{1}{2}}","tau":20}`)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("search: status %d: %s", resp2.StatusCode, body2)
+	}
+
+	// Add, then remove by the returned ids; ids are stable and reported back.
+	resp3, body3 := post(t, hs, "/add", `{"trees":["{a{b}{c}}","{a{b}}"]}`)
+	if resp3.StatusCode != 200 {
+		t.Fatalf("add: status %d: %s", resp3.StatusCode, body3)
+	}
+	var added struct {
+		IDs []int `json:"ids"`
+	}
+	if err := json.Unmarshal([]byte(body3), &added); err != nil || len(added.IDs) != 2 {
+		t.Fatalf("add response %q: %v", body3, err)
+	}
+	if added.IDs[0] != 30 || added.IDs[1] != 31 {
+		t.Fatalf("add ids = %v, want [30 31]", added.IDs)
+	}
+	resp4, body4 := post(t, hs, "/remove", fmt.Sprintf(`{"ids":[%d]}`, added.IDs[0]))
+	if resp4.StatusCode != 200 || !strings.Contains(body4, `"removed":1`) {
+		t.Fatalf("remove: status %d body %s", resp4.StatusCode, body4)
+	}
+
+	// TopK and KNN answer with the requested cardinality.
+	resp5, body5 := post(t, hs, "/topk", `{"k":3}`)
+	if resp5.StatusCode != 200 {
+		t.Fatalf("topk: status %d: %s", resp5.StatusCode, body5)
+	}
+	var topk struct {
+		Pairs []wirePair `json:"pairs"`
+	}
+	if err := json.Unmarshal([]byte(body5), &topk); err != nil || len(topk.Pairs) != 3 {
+		t.Fatalf("topk response %q: %v", body5, err)
+	}
+	resp6, body6 := post(t, hs, "/knn", `{"query":"{0{1}}","k":4}`)
+	if resp6.StatusCode != 200 {
+		t.Fatalf("knn: status %d: %s", resp6.StatusCode, body6)
+	}
+	var knn struct {
+		Matches []wireMatch `json:"matches"`
+	}
+	if err := json.Unmarshal([]byte(body6), &knn); err != nil || len(knn.Matches) != 4 {
+		t.Fatalf("knn response %q: %v", body6, err)
+	}
+
+	// Stats reports the post-mutation corpus.
+	resp7, err := http.Get(hs.URL + "/stats")
+	if err != nil || resp7.StatusCode != 200 {
+		t.Fatalf("stats: %v %v", resp7, err)
+	}
+	var stats struct {
+		Trees  int `json:"trees"`
+		Shards int `json:"shards"`
+	}
+	if err := json.NewDecoder(resp7.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp7.Body.Close()
+	if stats.Trees != 31 || stats.Shards != 3 {
+		t.Fatalf("stats = %+v, want 31 trees on 3 shards", stats)
+	}
+}
+
+// TestServeMalformed: every malformed request the wire can carry answers
+// 4xx — no panic, no 5xx. This is the no-network-reachable-panic contract.
+func TestServeMalformed(t *testing.T) {
+	_, hs := testServer(t, 2, 8, 5*time.Second)
+	cases := []struct {
+		name, path, body string
+	}{
+		{"bad json", "/search", `{"query":`},
+		{"wrong type", "/search", `{"query":17,"tau":1}`},
+		{"unknown field", "/search", `{"q":"{a}"}`},
+		{"bad bracket", "/search", `{"query":"{a","tau":1}`},
+		{"empty query", "/search", `{"query":"","tau":1}`},
+		{"negative tau", "/search", `{"query":"{a}","tau":-4}`},
+		{"bad tree in batch", "/add", `{"trees":["{a}","}{"]}`},
+		{"bad join tree", "/join", `{"trees":["{{{"],"tau":1}`},
+		{"negative join tau", "/join", `{"trees":["{a}"],"tau":-1}`},
+		{"remove wrong type", "/remove", `{"ids":"all"}`},
+		{"topk bad body", "/topk", `k=3`},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, hs, tc.path, tc.body)
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Errorf("%s: status %d (want 4xx), body %q", tc.name, resp.StatusCode, body)
+		}
+	}
+
+	// Bad query parameters on the streaming endpoint.
+	for _, url := range []string{"/selfjoin", "/selfjoin?tau=x", "/selfjoin?tau=-2", "/selfjoin?tau=1&deadline_ms=no"} {
+		resp, err := http.Get(hs.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Errorf("GET %s: status %d, want 4xx", url, resp.StatusCode)
+		}
+	}
+
+	// The server is still healthy after the abuse.
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz after malformed barrage: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+// TestServeDeadline: a request whose deadline cannot be met answers 504.
+func TestServeDeadline(t *testing.T) {
+	_, hs := testServer(t, 2, 8, time.Nanosecond)
+	resp, body := post(t, hs, "/topk", `{"k":5}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline: status %d body %q, want 504", resp.StatusCode, body)
+	}
+}
+
+// TestServeAdmission: when every in-flight slot is held, the next request
+// answers 429 instead of queueing.
+func TestServeAdmission(t *testing.T) {
+	srv, hs := testServer(t, 2, 1, 5*time.Second)
+	srv.sem <- struct{}{} // occupy the only slot
+	defer func() { <-srv.sem }()
+	resp, body := post(t, hs, "/topk", `{"k":1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("admission: status %d body %q, want 429", resp.StatusCode, body)
+	}
+	// healthz is not gated.
+	r2, err := http.Get(hs.URL + "/healthz")
+	if err != nil || r2.StatusCode != 200 {
+		t.Fatalf("healthz while saturated: %v %v", r2, err)
+	}
+	r2.Body.Close()
+}

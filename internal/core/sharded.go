@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"treejoin/internal/sim"
 	"treejoin/internal/tree"
 )
@@ -13,15 +15,29 @@ import (
 // each cross task rebuilds its own index, so the total filtering work
 // exceeds the sequential join's — the trade the paper's §6 future work
 // anticipates (parallelism versus shared state).
-func ShardedSelfJoin(ts []*tree.Tree, shards int, opts Options) ([]sim.Pair, *sim.Stats) {
+//
+// Invalid options come back as an error (never a panic): this is the
+// decomposition network-facing callers build on, so a malformed request must
+// degrade to a rejected query, not a crashed process.
+func ShardedSelfJoin(ts []*tree.Tree, shards int, opts Options) ([]sim.Pair, *sim.Stats, error) {
 	if err := opts.validate(); err != nil {
-		panic(err)
+		return nil, nil, err
 	}
 	if shards > len(ts) {
 		shards = len(ts)
 	}
 	if shards <= 1 {
-		return SelfJoin(ts, opts)
+		pairs, stats := SelfJoin(ts, opts)
+		return pairs, stats, nil
 	}
-	return opts.Job(shards, nil).SelfJoin(ts)
+	var pairs []sim.Pair
+	stats, err := opts.Job(shards, nil).StreamSelf(context.Background(), ts, func(p sim.Pair) bool {
+		pairs = append(pairs, p)
+		return true
+	})
+	if err != nil {
+		return pairs, stats, err
+	}
+	sim.SortPairs(pairs)
+	return pairs, stats, nil
 }

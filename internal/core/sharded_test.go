@@ -17,7 +17,10 @@ func TestShardedMatchesSelfJoin(t *testing.T) {
 		want, _ := core.SelfJoin(ts, core.Options{Tau: tau})
 		for _, shards := range []int{1, 2, 3, 7, 16} {
 			for _, workers := range []int{0, 1, 4} {
-				got, stats := core.ShardedSelfJoin(ts, shards, core.Options{Tau: tau, Workers: workers})
+				got, stats, err := core.ShardedSelfJoin(ts, shards, core.Options{Tau: tau, Workers: workers})
+				if err != nil {
+					t.Fatalf("τ=%d shards=%d workers=%d: %v", tau, shards, workers, err)
+				}
 				if len(got) != len(want) {
 					t.Fatalf("τ=%d shards=%d workers=%d: %d pairs, want %d",
 						tau, shards, workers, len(got), len(want))
@@ -60,7 +63,10 @@ func TestShardedSizeSkip(t *testing.T) {
 		}
 		ts = append(ts, b.MustBuild())
 	}
-	got, _ := core.ShardedSelfJoin(ts, 2, core.Options{Tau: 2, Workers: 2})
+	got, _, err := core.ShardedSelfJoin(ts, 2, core.Options{Tau: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want, _ := core.SelfJoin(ts, core.Options{Tau: 2})
 	if len(got) != len(want) {
 		t.Fatalf("%d pairs, want %d", len(got), len(want))
@@ -76,12 +82,15 @@ func TestShardedSizeSkip(t *testing.T) {
 // input.
 func TestShardedEdgeCases(t *testing.T) {
 	lt := tree.NewLabelTable()
-	if got, _ := core.ShardedSelfJoin(nil, 4, core.Options{Tau: 1}); len(got) != 0 {
+	if got, _, err := core.ShardedSelfJoin(nil, 4, core.Options{Tau: 1}); err != nil || len(got) != 0 {
 		t.Fatalf("empty collection: %v", got)
 	}
 	a := tree.MustParseBracket("{a{b}}", lt)
 	b := tree.MustParseBracket("{a{c}}", lt)
-	got, _ := core.ShardedSelfJoin([]*tree.Tree{a, b}, 8, core.Options{Tau: 1, Workers: 4})
+	got, _, err := core.ShardedSelfJoin([]*tree.Tree{a, b}, 8, core.Options{Tau: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 1 || got[0].I != 0 || got[0].J != 1 {
 		t.Fatalf("two trees: %v", got)
 	}
@@ -93,7 +102,10 @@ func TestShardedDuplicateTrees(t *testing.T) {
 	lt := tree.NewLabelTable()
 	a := tree.MustParseBracket("{a{b}{c}}", lt)
 	ts := []*tree.Tree{a, a.Clone(), a.Clone(), a.Clone(), a.Clone()}
-	got, _ := core.ShardedSelfJoin(ts, 3, core.Options{Tau: 0, Workers: 2})
+	got, _, err := core.ShardedSelfJoin(ts, 3, core.Options{Tau: 0, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if want := 5 * 4 / 2; len(got) != want {
 		t.Fatalf("%d pairs, want %d", len(got), want)
 	}
@@ -104,5 +116,19 @@ func TestShardedDuplicateTrees(t *testing.T) {
 			t.Fatalf("duplicate pair %v", p)
 		}
 		seen[k] = true
+	}
+}
+
+// TestShardedInvalidOptions: malformed options must come back as an error —
+// never a panic — since this decomposition sits behind network-facing
+// callers (a bad request must not crash a server).
+func TestShardedInvalidOptions(t *testing.T) {
+	ts := synth.Synthetic(10, 7)
+	pairs, stats, err := core.ShardedSelfJoin(ts, 2, core.Options{Tau: -3})
+	if err == nil {
+		t.Fatal("negative threshold: want error, got nil")
+	}
+	if pairs != nil || stats != nil {
+		t.Fatalf("invalid options returned results: %v %v", pairs, stats)
 	}
 }

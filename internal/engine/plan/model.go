@@ -304,18 +304,26 @@ func (m *Model) observe(st *sim.Stats, ts []*tree.Tree, split, tau int, epoch in
 func (m *Model) WindowPairs(ts []*tree.Tree, split, tau int, epoch int64) int64 {
 	k := winKey{n: len(ts), split: split, tau: tau}
 	m.mu.Lock()
-	if m.winEpoch != epoch || m.win == nil {
+	// The memo epoch only ever advances: a query pinned to a stale snapshot
+	// (epoch < winEpoch) computes its count directly and never touches the
+	// memo. Letting it rewind would both thrash the memo (live and stale
+	// queries alternately flushing each other's entries) and poison it —
+	// winKey is (n, split, τ), so a stale membership of the same size could
+	// leave its count behind for a live query to read.
+	if m.win == nil || epoch > m.winEpoch {
 		m.win = make(map[winKey]int64)
 		m.winEpoch = epoch
 	}
-	if v, ok := m.win[k]; ok {
-		m.mu.Unlock()
-		return v
+	if epoch == m.winEpoch {
+		if v, ok := m.win[k]; ok {
+			m.mu.Unlock()
+			return v
+		}
 	}
 	m.mu.Unlock()
 	v := countWindowPairs(ts, split, tau)
 	m.mu.Lock()
-	if m.winEpoch == epoch && m.win != nil {
+	if m.winEpoch == epoch {
 		m.win[k] = v
 	}
 	m.mu.Unlock()

@@ -224,3 +224,79 @@ func evalNames(evs []stageEval) []string {
 	}
 	return names
 }
+
+// TestStaleSnapshotFoldDownWeighted pins the epoch-decay ordering that keeps
+// a shared model safe across a corpus and its snapshots: a run observed from
+// a snapshot pinned at an older epoch folds in scaled by decayPerEpoch^gap,
+// and it never rewinds the bucket's epoch — so it cannot cause the live
+// evidence to be decayed a second time by the next live observation.
+func TestStaleSnapshotFoldDownWeighted(t *testing.T) {
+	var o obs
+	o.fold(5, obs{in: 100, pruned: 50}, true) // live run at epoch 5
+	if o.epoch != 5 {
+		t.Fatalf("bucket epoch %d after live fold, want 5", o.epoch)
+	}
+	liveIn, livePruned := o.in, o.pruned
+	// A snapshot 4 epochs behind reports a kill-everything run.
+	o.fold(1, obs{in: 100, pruned: 100}, true)
+	if o.epoch != 5 {
+		t.Fatalf("stale fold rewound the bucket epoch to %d", o.epoch)
+	}
+	g := 1.0
+	for i := 0; i < 4; i++ {
+		g *= decayPerEpoch
+	}
+	wantIn := liveIn*runRetain + g*100
+	wantPruned := livePruned*runRetain + g*100
+	if diff := o.in - wantIn; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("stale in folded at weight %.4f of its value, want %.4f", o.in/100, wantIn/100)
+	}
+	if diff := o.pruned - wantPruned; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("stale pruned folded with the wrong weight")
+	}
+	// The stale run's pull on the selectivity estimate is bounded by its
+	// decayed weight share, not its raw counts.
+	sel := o.pruned / o.in
+	if maxSel := (runRetain*50 + g*100) / (runRetain*100 + g*100); sel > maxSel+1e-9 {
+		t.Fatalf("selectivity %.4f exceeds the down-weighted bound %.4f", sel, maxSel)
+	}
+	// A later live fold ages from epoch 5 — aging to the same epoch is a
+	// no-op, so the live evidence is never double-decayed.
+	before := o.in
+	o.age(5)
+	if o.in != before {
+		t.Fatal("age(current epoch) decayed the bucket")
+	}
+}
+
+// TestWindowPairsStaleEpochGuard: the window-pair memo's epoch only ever
+// advances. A query pinned to a stale snapshot gets its own exact count but
+// must neither flush the live memo nor leave its count behind under a key a
+// live query could read (winKey is (n, split, τ) — two memberships of the
+// same size would collide).
+func TestWindowPairsStaleEpochGuard(t *testing.T) {
+	lt := tree.NewLabelTable()
+	m := New()
+	live := []*tree.Tree{chainOfSize(lt, 1), chainOfSize(lt, 10)}
+	stale := []*tree.Tree{chainOfSize(lt, 4), chainOfSize(lt, 4)}
+	if got := m.WindowPairs(live, -1, 2, 5); got != 0 {
+		t.Fatalf("live count %d, want 0", got)
+	}
+	if got := m.WindowPairs(stale, -1, 2, 3); got != 1 {
+		t.Fatalf("stale-snapshot count %d, want 1 (served from the live memo?)", got)
+	}
+	if m.winEpoch != 5 {
+		t.Fatalf("stale query rewound the memo epoch to %d", m.winEpoch)
+	}
+	if got := m.WindowPairs(live, -1, 2, 5); got != 0 {
+		t.Fatalf("live count %d after stale query, want 0 (memo poisoned)", got)
+	}
+	// And a mutation's epoch step still flushes the memo forward.
+	bigger := []*tree.Tree{chainOfSize(lt, 6), chainOfSize(lt, 7)}
+	if got := m.WindowPairs(bigger, -1, 2, 6); got != 1 {
+		t.Fatalf("post-mutation count %d, want 1", got)
+	}
+	if m.winEpoch != 6 {
+		t.Fatalf("memo epoch %d, want 6", m.winEpoch)
+	}
+}

@@ -72,13 +72,25 @@ func (s *Store) recoverLocked() error {
 	return nil
 }
 
+// defaultRetryJitter draws the random half of a retry delay from the
+// process-wide locked RNG. The top-level rand functions serialise internally,
+// so any number of stores' recovery loops may draw concurrently; a
+// goroutine-local rand.New(rand.NewSource(...)) would work too (each loop is
+// one goroutine and the value never escapes it) but is pinned behind the
+// Options hook instead so fault-sweep tests can make the schedule
+// deterministic.
+func defaultRetryJitter(max time.Duration) time.Duration {
+	return time.Duration(rand.Int63n(int64(max) + 1))
+}
+
 // recoveryLoop is the background half of degraded mode: woken by
 // enterDegradedLocked, it retries recoverLocked under exponential backoff
 // (retryBase doubling up to retryMax) with ±half jitter, so a fleet of
 // stores degraded by the same full disk does not thunder back in lockstep.
+// It never starts under NoBackground (Flush and Compact are the synchronous
+// recovery hooks there), so NoBackground tests see no jitter at all.
 func (s *Store) recoveryLoop() {
 	defer s.wg.Done()
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
 		select {
 		case <-s.stopCh:
@@ -97,7 +109,7 @@ func (s *Store) recoveryLoop() {
 			if err == nil {
 				break
 			}
-			d := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			d := backoff/2 + s.opt.retryJitter(backoff/2)
 			select {
 			case <-s.stopCh:
 				return

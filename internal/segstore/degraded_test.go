@@ -3,6 +3,7 @@ package segstore
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -128,5 +129,74 @@ func TestDegradedBackgroundRetry(t *testing.T) {
 	}
 	if err := s.Add(s.NextID(), chainTree(s.Labels(), 5)); err != nil {
 		t.Fatalf("write after background recovery: %v", err)
+	}
+}
+
+// TestDegradedRetryJitterPinned: the retry loop's jitter source is injected
+// through Options, so a fault sweep can pin it and observe a fully
+// deterministic backoff schedule — each delay is exactly backoff/2 with the
+// jitter pinned to zero, and backoff doubles from retryBase up to retryMax.
+func TestDegradedRetryJitterPinned(t *testing.T) {
+	fs := newErrFS()
+	var mu sync.Mutex
+	var draws []time.Duration
+	s, err := Create(sweepDir, nil, Options{
+		MemtableBudget: 100, FS: fs,
+		retryBase: time.Millisecond, retryMax: 8 * time.Millisecond,
+		retryJitter: func(max time.Duration) time.Duration {
+			mu.Lock()
+			draws = append(draws, max)
+			mu.Unlock()
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Add(s.NextID(), chainTree(s.Labels(), 4)); err != nil {
+		t.Fatal(err)
+	}
+	fs.setSticky(true)
+	if err := s.Flush(); err == nil {
+		t.Fatal("flush on a full disk reported success")
+	}
+	// Wait until at least five doomed retries have drawn jitter, then let
+	// the next one succeed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(draws)
+		mu.Unlock()
+		if n >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retry loop never drew jitter")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fs.setSticky(false)
+	for s.Stats().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatal("background retry never recovered the store")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The draws record each delay's max = backoff/2, and with the pinned
+	// source the schedule is exactly the doubling sequence, no randomness.
+	mu.Lock()
+	defer mu.Unlock()
+	backoff := time.Millisecond
+	for i, got := range draws[:5] {
+		if want := backoff / 2; got != want {
+			t.Fatalf("draw %d: max %v, want %v (deterministic schedule)", i, got, want)
+		}
+		if backoff < 8*time.Millisecond {
+			backoff *= 2
+			if backoff > 8*time.Millisecond {
+				backoff = 8 * time.Millisecond
+			}
+		}
 	}
 }

@@ -44,6 +44,12 @@ type Options struct {
 	// shrink them.
 	retryBase time.Duration
 	retryMax  time.Duration
+	// retryJitter draws the random half of a degraded-mode retry delay: a
+	// value in [0, max]. Nil means the default source, the process-wide
+	// locked RNG (safe however many stores retry concurrently). In-package
+	// fault-sweep tests pin it to make backoff schedules deterministic;
+	// under NoBackground the retry loop never runs, so jitter never fires.
+	retryJitter func(max time.Duration) time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +67,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.retryMax <= 0 {
 		o.retryMax = 5 * time.Second
+	}
+	if o.retryJitter == nil {
+		o.retryJitter = defaultRetryJitter
 	}
 	return o
 }
